@@ -1,0 +1,109 @@
+// Ablation study (ours, beyond the paper's tables): contribution of each
+// ingredient of the new merging flow on D1..D5 —
+//   A. clustering only (no width transforms, no rebalancing iteration)
+//   B. + width normalisation (Theorem 4.2 + Lemmas 5.6/5.7)
+//   C. + rebalancing iterations (Section 5.2 refinement loop)
+//   D. + refinement-fed width pruning (the full prepare_new_merge flow)
+// and the effect of the final-adder architecture (ripple vs Kogge-Stone).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dpmerge/cluster/clusterer.h"
+#include "dpmerge/designs/testcases.h"
+#include "dpmerge/netlist/sta.h"
+#include "dpmerge/synth/flow.h"
+#include "dpmerge/transform/rebalance.h"
+#include "dpmerge/transform/width_prune.h"
+
+int main() {
+  using namespace dpmerge;
+  using bench::fmt;
+
+  netlist::Sta sta(netlist::CellLibrary::tsmc025());
+
+  std::printf("Ablation: clusters / delay(ns) / area per configuration\n\n");
+  bench::Table t({"config", "D1", "D2", "D3", "D4", "D5"});
+
+  struct Config {
+    const char* name;
+    bool normalize;
+    bool iterate;
+    bool refine_feedback;
+  };
+  const Config configs[] = {
+      {"A cluster only", false, false, false},
+      {"B + width transforms", true, false, false},
+      {"C + rebalance iters", true, true, false},
+      {"D full new-merge flow", true, true, true},
+  };
+
+  for (const Config& cfg : configs) {
+    std::vector<std::string> cells{cfg.name};
+    for (const auto& tc : designs::all_testcases()) {
+      dfg::Graph g = tc.graph;
+      cluster::ClusterResult cr;
+      if (cfg.refine_feedback) {
+        cr = synth::prepare_new_merge(g);
+      } else {
+        if (cfg.normalize) transform::normalize_widths(g);
+        cluster::ClusterOptions copt;
+        copt.iterate_rebalancing = cfg.iterate;
+        cr = cluster::cluster_maximal(g, copt);
+      }
+      const auto net =
+          synth::synthesize_partition(g, cr.partition, cr.info, {});
+      const auto rep = sta.analyze(net);
+      cells.push_back(std::to_string(cr.partition.num_clusters()) + " / " +
+                      fmt(rep.longest_path_ns) + " / " +
+                      fmt(sta.area_scaled(net), 1));
+    }
+    t.add_row(std::move(cells));
+  }
+  t.print();
+
+  // The "other application" of safe partitioning: graph rebalancing ahead
+  // of a NON-merging flow (keeps discrete adders, shortens chains).
+  std::printf(
+      "\nGraph rebalancing ahead of the no-merging flow (operators / delay /"
+      " area):\n\n");
+  {
+    bench::Table t3({"config", "D1", "D2", "D3", "D4", "D5"});
+    std::vector<std::string> plain{"no-merge flow"};
+    std::vector<std::string> reb{"no-merge + rebalance"};
+    for (const auto& tc : designs::all_testcases()) {
+      const auto before = synth::run_flow(tc.graph, synth::Flow::NoMerge);
+      const auto balanced = transform::rebalance_clusters(tc.graph);
+      const auto after = synth::run_flow(balanced, synth::Flow::NoMerge);
+      const auto rb = sta.analyze(before.net);
+      const auto ra = sta.analyze(after.net);
+      plain.push_back(std::to_string(before.partition.num_clusters()) +
+                      " / " + fmt(rb.longest_path_ns) + " / " +
+                      fmt(sta.area_scaled(before.net), 1));
+      reb.push_back(std::to_string(after.partition.num_clusters()) + " / " +
+                    fmt(ra.longest_path_ns) + " / " +
+                    fmt(sta.area_scaled(after.net), 1));
+    }
+    t3.add_row(std::move(plain));
+    t3.add_row(std::move(reb));
+    t3.print();
+  }
+
+  std::printf("\nFinal-adder architecture (full flow):\n\n");
+  bench::Table t2({"adder", "D1", "D2", "D3", "D4", "D5"});
+  for (synth::AdderArch arch :
+       {synth::AdderArch::Ripple, synth::AdderArch::KoggeStone}) {
+    std::vector<std::string> cells{std::string(synth::to_string(arch))};
+    for (const auto& tc : designs::all_testcases()) {
+      synth::SynthOptions opt;
+      opt.adder = arch;
+      const auto res = synth::run_flow(tc.graph, synth::Flow::NewMerge, opt);
+      const auto rep = sta.analyze(res.net);
+      cells.push_back(fmt(rep.longest_path_ns) + " ns / " +
+                      fmt(sta.area_scaled(res.net), 1));
+    }
+    t2.add_row(std::move(cells));
+  }
+  t2.print();
+  return 0;
+}

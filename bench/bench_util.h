@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dpmerge::bench {
+
+/// Minimal fixed-width table printer for the table/figure harnesses, so the
+/// bench output visually matches the paper's rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> w(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& r) {
+      for (std::size_t i = 0; i < r.size() && i < w.size(); ++i) {
+        w[i] = std::max(w[i], r[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+    auto line = [&](const std::vector<std::string>& r) {
+      std::printf("|");
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        std::printf(" %-*s |", static_cast<int>(w[i]),
+                    i < r.size() ? r[i].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    line(header_);
+    std::printf("|");
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      std::printf("%s|", std::string(w[i] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string pct_reduction(double before, double after) {
+  if (before <= 0) return "-";
+  return fmt(100.0 * (before - after) / before, 1);
+}
+
+}  // namespace dpmerge::bench

@@ -1,0 +1,96 @@
+// Reproduces Table 2 of the paper: runtime of timing-driven gate-level
+// optimisation on the old-merge vs new-merge netlists of D1..D5, plus the
+// final (post-optimisation) delay and area.
+//
+// The paper's absolute runtimes come from a proprietary optimiser on 2001
+// hardware; the target delays come from its library. Here the target for
+// each design is set a few percent below the new-merge netlist's initial
+// delay, so both flows have real work to do, and runtimes are from this
+// repository's TimingOptimizer (DESIGN.md §1). The reproduction target is
+// the shape: the new-merge netlist needs dramatically less optimisation
+// effort and ends no worse in delay and much smaller in area.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dpmerge/designs/testcases.h"
+#include "dpmerge/netlist/sta.h"
+#include "dpmerge/opt/timing_opt.h"
+#include "dpmerge/synth/flow.h"
+
+int main() {
+  using namespace dpmerge;
+  using synth::Flow;
+
+  const auto cases = designs::all_testcases();
+  const auto& lib = netlist::CellLibrary::tsmc025();
+  netlist::Sta sta(lib);
+  opt::TimingOptimizer optimizer(lib);
+
+  struct Row {
+    double target = 0;
+    double time[2];
+    double end_delay[2];
+    double end_area[2];
+    int moves[2];
+  };
+  std::vector<Row> rows;
+
+  for (const auto& tc : cases) {
+    Row r{};
+    auto newf = synth::run_flow(tc.graph, Flow::NewMerge);
+    auto oldf = synth::run_flow(tc.graph, Flow::OldMerge);
+    r.target = sta.analyze(newf.net).longest_path_ns * 0.93;
+
+    opt::TimingOptOptions o;
+    o.target_ns = r.target;
+    o.max_moves = 5000;
+    {
+      const auto res = optimizer.optimize(oldf.net, o);
+      r.time[0] = res.runtime_sec;
+      r.end_delay[0] = res.final_ns;
+      r.end_area[0] = res.final_area;
+      r.moves[0] = res.moves;
+    }
+    {
+      const auto res = optimizer.optimize(newf.net, o);
+      r.time[1] = res.runtime_sec;
+      r.end_delay[1] = res.final_ns;
+      r.end_area[1] = res.final_area;
+      r.moves[1] = res.moves;
+    }
+    rows.push_back(r);
+  }
+
+  std::printf("Table 2: timing-driven logic optimisation, old vs new merging\n");
+  std::printf("(times in seconds on this machine; targets derived per design)\n\n");
+  bench::Table t({"Testcases ->", "D1", "D2", "D3", "D4", "D5"});
+  auto add = [&](const char* label, auto get) {
+    std::vector<std::string> cells{label};
+    for (const auto& r : rows) cells.push_back(get(r));
+    t.add_row(std::move(cells));
+  };
+  add("Target delay (ns)", [](const Row& r) { return bench::fmt(r.target); });
+  add("Opt time Old mg (s)",
+      [](const Row& r) { return bench::fmt(r.time[0], 4); });
+  add("Opt time New mg (s)",
+      [](const Row& r) { return bench::fmt(r.time[1], 4); });
+  add("Opt time % red.", [](const Row& r) {
+    return bench::pct_reduction(r.time[0], r.time[1]);
+  });
+  add("Moves Old/New", [](const Row& r) {
+    return std::to_string(r.moves[0]) + "/" + std::to_string(r.moves[1]);
+  });
+  add("End Del. Old mg", [](const Row& r) { return bench::fmt(r.end_delay[0]); });
+  add("End Del. New mg", [](const Row& r) { return bench::fmt(r.end_delay[1]); });
+  add("End Area Old mg", [](const Row& r) { return bench::fmt(r.end_area[0], 1); });
+  add("End Area New mg", [](const Row& r) { return bench::fmt(r.end_area[1], 1); });
+  t.print();
+
+  std::printf(
+      "\nPaper (Table 2) reference shapes: optimisation runtime reductions"
+      "\nD1 98.5%% D2 79.8%% D3 34.6%% D4 98.1%% D5 93.8%%; end delay new <="
+      " old\n(except D3's 20.9 vs 20.7); end area much smaller for new on"
+      " D1/D2/D4/D5.\n");
+  return 0;
+}

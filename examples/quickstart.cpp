@@ -1,0 +1,68 @@
+// Quickstart: build a small datapath DFG, run the paper's analyses, merge
+// operators and synthesize a gate netlist.
+//
+//   r = (a * b) + (c - d) + e      (all inputs 8-bit signed)
+//
+// Prints the required precision and information content of every node, the
+// cluster partition for each flow, and delay/area of the synthesized
+// netlists.
+
+#include <cstdio>
+
+#include "dpmerge/analysis/info_content.h"
+#include "dpmerge/analysis/required_precision.h"
+#include "dpmerge/dfg/builder.h"
+#include "dpmerge/netlist/sta.h"
+#include "dpmerge/synth/flow.h"
+
+int main() {
+  using namespace dpmerge;
+  using dfg::Operand;
+
+  // 1. Build the DFG. Edge attributes are <width, signedness>: signals are
+  // sign-extended into the 17-bit adders.
+  dfg::Graph g;
+  dfg::Builder b(g);
+  const auto a = b.input("a", 8);
+  const auto bb = b.input("b", 8);
+  const auto c = b.input("c", 8);
+  const auto d = b.input("d", 8);
+  const auto e = b.input("e", 8);
+  const auto prod = b.mul(16, Operand{a, 16, Sign::Signed},
+                          Operand{bb, 16, Sign::Signed});
+  const auto diff = b.sub(9, Operand{c, 9, Sign::Signed},
+                          Operand{d, 9, Sign::Signed});
+  const auto s1 = b.add(17, Operand{prod, 17, Sign::Signed},
+                        Operand{diff, 17, Sign::Signed});
+  const auto s2 = b.add(17, Operand{s1, 17, Sign::Signed},
+                        Operand{e, 17, Sign::Signed});
+  b.output("r", 17, Operand{s2, 17, Sign::Signed});
+
+  // 2. The paper's two analyses.
+  const auto rp = analysis::compute_required_precision(g);
+  const auto ia = analysis::compute_info_content(g);
+  std::printf("node  kind  width  r(out)  info content\n");
+  for (const auto& n : g.nodes()) {
+    std::printf("%4d  %-5s %5d  %6d  %s\n", n.id.value,
+                std::string(dfg::to_string(n.kind)).c_str(), n.width,
+                rp.r_out(n.id), ia.out(n.id).to_string().c_str());
+  }
+
+  // 3. Merge and synthesize under the three flows of the paper's Section 7.
+  netlist::Sta sta(netlist::CellLibrary::tsmc025());
+  for (auto flow : {synth::Flow::NoMerge, synth::Flow::OldMerge,
+                    synth::Flow::NewMerge}) {
+    const auto res = synth::run_flow(g, flow);
+    const auto rep = sta.analyze(res.net);
+    std::printf(
+        "\n%-9s : %d cluster(s) -> %d gates, longest path %.2f ns, area %.0f\n",
+        std::string(synth::to_string(flow)).c_str(),
+        res.partition.num_clusters(), res.net.gate_count(),
+        rep.longest_path_ns, sta.area(res.net));
+    std::printf("  partition: %s\n", res.partition.summary(res.graph).c_str());
+  }
+  std::printf(
+      "\nThe new flow computes the product and both additions in one CSA tree\n"
+      "with a single final carry-propagate adder.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Exports the merged netlist of a built-in design (default D1) as
+// structural Verilog over the cell library — the hand-off format for the
+// gate-level optimisation and place-and-route steps downstream of datapath
+// synthesis.
+//
+// Usage: verilog_export [d1|d2|d3|d4|d5] [no|old|new]
+
+#include <cstdio>
+#include <string>
+
+#include "dpmerge/designs/testcases.h"
+#include "dpmerge/netlist/sta.h"
+#include "dpmerge/netlist/verilog.h"
+#include "dpmerge/synth/flow.h"
+
+int main(int argc, char** argv) {
+  using namespace dpmerge;
+
+  const std::string which = argc > 1 ? argv[1] : "d1";
+  const std::string flow_s = argc > 2 ? argv[2] : "new";
+
+  dfg::Graph g;
+  for (const auto& tc : designs::all_testcases()) {
+    std::string lower = tc.name;
+    for (auto& c : lower) c = static_cast<char>(std::tolower(c));
+    if (lower == which) g = tc.graph;
+  }
+  if (g.node_count() == 0) {
+    std::fprintf(stderr, "unknown design '%s'\n", which.c_str());
+    return 2;
+  }
+  synth::Flow flow = synth::Flow::NewMerge;
+  if (flow_s == "no") flow = synth::Flow::NoMerge;
+  if (flow_s == "old") flow = synth::Flow::OldMerge;
+
+  const auto res = synth::run_flow(g, flow);
+  netlist::Sta sta(netlist::CellLibrary::tsmc025());
+  std::fprintf(stderr, "// %s, %s flow: %d gates, %.2f ns, area %.0f\n",
+               which.c_str(), std::string(synth::to_string(flow)).c_str(),
+               res.net.gate_count(),
+               sta.analyze(res.net).longest_path_ns, sta.area(res.net));
+  std::fputs(netlist::to_verilog(res.net, which + "_" + flow_s).c_str(),
+             stdout);
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "dpmerge/analysis/huffman.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <queue>
+
+namespace dpmerge::analysis {
+
+std::vector<InfoContent> expand_addends(const std::vector<Addend>& addends) {
+  std::vector<InfoContent> flat;
+  for (const Addend& a : addends) {
+    const std::int64_t copies = std::llabs(a.coefficient);
+    const InfoContent per_copy =
+        a.coefficient < 0 ? ic_neg(a.info) : a.info;
+    for (std::int64_t c = 0; c < copies; ++c) flat.push_back(per_copy);
+  }
+  return flat;
+}
+
+InfoContent huffman_rebalanced_bound(const std::vector<Addend>& addends) {
+  auto flat = expand_addends(addends);
+  if (flat.empty()) return {0, Sign::Unsigned};
+
+  // Min-heap ordered by content width (Step 1 of the algorithm). Ties are
+  // broken toward unsigned so that same-sign combinations (which keep the
+  // paper's tight max+1 rule) are preferred.
+  auto cmp = [](const InfoContent& a, const InfoContent& b) {
+    if (a.width != b.width) return a.width > b.width;
+    return a.sign == Sign::Signed && b.sign == Sign::Unsigned;
+  };
+  std::priority_queue<InfoContent, std::vector<InfoContent>, decltype(cmp)>
+      heap(cmp, std::move(flat));
+
+  // Step 2: repeatedly combine the two smallest values.
+  while (heap.size() > 1) {
+    const InfoContent m1 = heap.top();
+    heap.pop();
+    const InfoContent m2 = heap.top();
+    heap.pop();
+    heap.push(ic_add(m1, m2));
+  }
+  return heap.top();
+}
+
+InfoContent sequential_bound(const std::vector<Addend>& addends) {
+  const auto flat = expand_addends(addends);
+  if (flat.empty()) return {0, Sign::Unsigned};
+  InfoContent acc = flat.front();
+  for (std::size_t i = 1; i < flat.size(); ++i) acc = ic_add(acc, flat[i]);
+  return acc;
+}
+
+namespace {
+
+InfoContent best_over_orders(std::vector<InfoContent> items) {
+  if (items.size() == 1) return items[0];
+  InfoContent best{1 << 30, Sign::Signed};
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    for (std::size_t j = i + 1; j < items.size(); ++j) {
+      std::vector<InfoContent> next;
+      next.reserve(items.size() - 1);
+      for (std::size_t k = 0; k < items.size(); ++k) {
+        if (k != i && k != j) next.push_back(items[k]);
+      }
+      next.push_back(ic_add(items[i], items[j]));
+      best = ic_meet(best, best_over_orders(std::move(next)));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+InfoContent exhaustive_best_bound(const std::vector<Addend>& addends) {
+  const auto flat = expand_addends(addends);
+  if (flat.empty()) return {0, Sign::Unsigned};
+  return best_over_orders(flat);
+}
+
+}  // namespace dpmerge::analysis

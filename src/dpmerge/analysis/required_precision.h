@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "dpmerge/dfg/graph.h"
+
+namespace dpmerge::analysis {
+
+/// Required precision of every port in a DFG (Definition 4.1).
+///
+/// If the required precision of a signal is n, then no more than its n least
+/// significant bits are needed to define the value at every primary output in
+/// its fanout cone; the higher-order bits are truncated somewhere on every
+/// downstream path and are superfluous.
+///
+/// Because Definition 4.1 assigns the same value to every input port of an
+/// operator node (min{r(p_o), w(N)}), the result is stored per node:
+///  - `at_output_port[n]` = r of the node's output port; for Output nodes
+///    (which have no output port) it is set to w(N) for convenience.
+///  - `at_input_port[n]`  = r of each of the node's input ports.
+/// The r(p_d) used when pruning an edge (Theorem 4.2) is
+/// `at_input_port[edge.dst]`.
+struct RequiredPrecision {
+  std::vector<int> at_output_port;
+  std::vector<int> at_input_port;
+
+  int r_out(dfg::NodeId n) const {
+    return at_output_port[static_cast<std::size_t>(n.value)];
+  }
+  int r_in(dfg::NodeId n) const {
+    return at_input_port[static_cast<std::size_t>(n.value)];
+  }
+  /// r at the destination port of edge `e`.
+  int r_dst(const dfg::Graph& g, dfg::EdgeId e) const {
+    return r_in(g.edge(e).dst);
+  }
+};
+
+/// Computes required precision for all ports by a single reverse-topological
+/// sweep (O(V + E)).
+RequiredPrecision compute_required_precision(const dfg::Graph& g);
+
+}  // namespace dpmerge::analysis

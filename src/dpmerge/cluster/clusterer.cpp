@@ -1,0 +1,210 @@
+#include "dpmerge/cluster/clusterer.h"
+
+#include <algorithm>
+
+#include "dpmerge/cluster/flatten.h"
+
+namespace dpmerge::cluster {
+
+using analysis::InfoAnalysis;
+using analysis::InfoContent;
+using analysis::RequiredPrecision;
+using dfg::Edge;
+using dfg::EdgeId;
+using dfg::Graph;
+using dfg::Node;
+using dfg::NodeId;
+using dfg::OpKind;
+
+namespace {
+
+constexpr int kExact = 1 << 28;  // "all bits of the delivered value match"
+
+/// One resize stage of the exact-low-bits analysis behind Safety Condition
+/// 2. `m` is how many low bits of the running value still equal the ideal
+/// (claim-interpreted) contribution of node N; `c` is the running claim.
+/// Truncation below the claim and *reinterpreting* extensions (extending a
+/// lossy value, zero-padding signed content, or extending a value whose
+/// signedness claim is vacuous with the opposite type) cap `m` — a consumer
+/// needing more than `m` bits makes N unmergeable with it, because the
+/// sum-of-addends form regenerates the ideal value, not the reinterpreted
+/// one.
+void resize_stage(InfoContent& c, int& m, int from, int to, Sign ext) {
+  if (to <= from) {
+    if (to < c.width) m = std::min(m, to);
+    c = analysis::ic_resize(c, from, to, ext);
+    return;
+  }
+  const bool exact =
+      (c.width < from && c.sign == ext) ||
+      (c.width < from && c.sign == Sign::Unsigned && ext == Sign::Signed) ||
+      (c.width == from && c.sign == ext);
+  // Widening a value whose upper structure is unknown or mismatched: the
+  // bits at and above the old carrier no longer track the ideal value.
+  if (!exact) m = std::min(m, from);
+  c = analysis::ic_resize(c, from, to, ext);
+}
+
+/// Break-node analysis (Section 6 conditions, with the corrections and the
+/// per-edge exactness generalisation documented in DESIGN.md §2/§5).
+std::vector<bool> compute_breaks(const Graph& g, const InfoAnalysis& ia,
+                                 const RequiredPrecision& rp) {
+  std::vector<bool> brk(static_cast<std::size_t>(g.node_count()), false);
+  for (const Node& n : g.nodes()) {
+    if (!dfg::is_arith_operator(n.kind)) continue;
+    bool b = n.out.empty();
+    for (EdgeId eid : n.out) {
+      if (b) break;
+      const Edge& e = g.edge(eid);
+      const Node& dst = g.node(e.dst);
+      // Safety Condition 1 (+ primary outputs end clusters).
+      if (!dfg::is_arith_operator(dst.kind)) {
+        b = true;
+        continue;
+      }
+      // Synthesizability Condition 1.
+      if (dst.kind == OpKind::Mul) {
+        b = true;
+        continue;
+      }
+      // Safety Condition 2, exact-low-bits form: track how many low bits of
+      // the operand delivered through e still equal N's ideal contribution;
+      // the node-level clip and both edge resizes can each cap it.
+      InfoContent c = ia.out(n.id);
+      int m = ia.intr(n.id).width > n.width ? n.width : kExact;
+      resize_stage(c, m, n.width, e.width, e.sign);
+      resize_stage(c, m, e.width, dst.width, e.sign);
+      if (rp.r_in(e.dst) > m) b = true;
+    }
+    brk[static_cast<std::size_t>(n.id.value)] = b;
+  }
+  return brk;
+}
+
+}  // namespace
+
+ClusterResult cluster_maximal(const Graph& g, const ClusterOptions& opt) {
+  ClusterResult res;
+  res.refinements.assign(static_cast<std::size_t>(g.node_count()),
+                         std::nullopt);
+
+  const int rounds = opt.iterate_rebalancing ? opt.max_iterations : 1;
+  for (int iter = 0; iter < rounds; ++iter) {
+    res.iterations = iter + 1;
+    res.info = analysis::compute_info_content(g, res.refinements);
+    res.rp = analysis::compute_required_precision(g);
+    const auto breaks = compute_breaks(g, res.info, res.rp);
+    res.partition = partition_from_breaks(g, breaks);
+    if (!opt.iterate_rebalancing) break;
+
+    // Section 5.2 / Section 6 refinement: recompute each cluster output's
+    // information content under the optimal (Huffman) operation ordering;
+    // any tightening may dissolve a break in the next round.
+    bool changed = false;
+    for (const Cluster& c : res.partition.clusters) {
+      const InfoContent h = rebalanced_cluster_bound(g, c, res.info);
+      const InfoContent cur = res.info.intr(c.root);
+      if (h.width < cur.width) {
+        auto& slot = res.refinements[static_cast<std::size_t>(c.root.value)];
+        slot = slot.has_value() ? analysis::ic_meet(*slot, h) : h;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return res;
+}
+
+namespace {
+
+/// Width-only "natural width" of every node: what the old algorithm believes
+/// each operator needs. Deliberately *local*, in the spirit of the DAC'98
+/// leakage-of-bits criterion: an operand's width is the connection width
+/// min{w(e), w(N)} — no propagation of smaller upstream content, no
+/// signedness reasoning. This is exactly the pessimism the paper's
+/// information-content analysis removes.
+std::vector<int> natural_widths(const Graph& g) {
+  std::vector<int> nat(static_cast<std::size_t>(g.node_count()), 0);
+  for (NodeId id : g.topo_order()) {
+    const Node& n = g.node(id);
+    auto opw = [&](int port) {
+      const Edge& e = g.edge(n.in[static_cast<std::size_t>(port)]);
+      return std::min(e.width, n.width);
+    };
+    int v = n.width;
+    switch (n.kind) {
+      case OpKind::Input:
+      case OpKind::Const:
+        v = n.width;
+        break;
+      case OpKind::Output:
+      case OpKind::Extension:
+        v = opw(0);
+        break;
+      case OpKind::Neg:
+        v = opw(0) + 1;
+        break;
+      case OpKind::Add:
+      case OpKind::Sub:
+        v = std::max(opw(0), opw(1)) + 1;
+        break;
+      case OpKind::Mul:
+        v = opw(0) + opw(1);
+        break;
+      case OpKind::Shl:
+        v = opw(0) + n.shift;
+        break;
+      case OpKind::LtS:
+      case OpKind::LtU:
+      case OpKind::Eq:
+        v = 1;
+        break;
+    }
+    nat[static_cast<std::size_t>(id.value)] = v;
+  }
+  return nat;
+}
+
+}  // namespace
+
+Partition cluster_leakage(const Graph& g) {
+  const auto nat = natural_widths(g);
+  const auto rp = analysis::compute_required_precision(g);
+  // The width-only criterion cannot see signedness reinterpretation
+  // (zero-extension of signed content); any real tool has the RTL types and
+  // breaks there too. Start from the minimal functionally-required break
+  // set and add the width-pessimistic leakage breaks on top.
+  std::vector<bool> brk =
+      compute_breaks(g, analysis::compute_info_content(g), rp);
+  for (const Node& n : g.nodes()) {
+    if (!dfg::is_arith_operator(n.kind)) continue;
+    bool b = n.out.empty();
+    int max_r = 0;
+    const int nat_n = nat[static_cast<std::size_t>(n.id.value)];
+    for (EdgeId eid : n.out) {
+      if (b) break;
+      const Edge& e = g.edge(eid);
+      const Node& dst = g.node(e.dst);
+      if (!dfg::is_arith_operator(dst.kind)) b = true;
+      if (dst.kind == OpKind::Mul) b = true;
+      const int r_d = rp.r_in(e.dst);
+      max_r = std::max(max_r, r_d);
+      // Leakage on the edge: the edge drops bits the node really produced
+      // and a consumer widens the truncated value again.
+      if (std::min(std::min(nat_n, n.width), r_d) > e.width) b = true;
+    }
+    // Leakage at the node: the operator's natural width exceeds its declared
+    // width (bits leak) and some consumer requires more than it produces.
+    if (!b && std::min(nat_n, max_r) > n.width) b = true;
+    // OR into the functionally-required break set seeded above.
+    if (b) brk[static_cast<std::size_t>(n.id.value)] = true;
+  }
+  return partition_from_breaks(g, brk);
+}
+
+Partition cluster_none(const Graph& g) {
+  std::vector<bool> brk(static_cast<std::size_t>(g.node_count()), true);
+  return partition_from_breaks(g, brk);
+}
+
+}  // namespace dpmerge::cluster

@@ -1,0 +1,165 @@
+#include "dpmerge/cluster/partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace dpmerge::cluster {
+
+using dfg::Edge;
+using dfg::EdgeId;
+using dfg::Graph;
+using dfg::Node;
+using dfg::NodeId;
+using dfg::OpKind;
+
+std::string Partition::summary(const Graph& g) const {
+  std::ostringstream os;
+  os << clusters.size() << " cluster(s):";
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    os << " [";
+    for (std::size_t k = 0; k < clusters[i].nodes.size(); ++k) {
+      if (k) os << " ";
+      const Node& n = g.node(clusters[i].nodes[k]);
+      os << dfg::to_string(n.kind) << n.id.value;
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+Partition partition_from_breaks(const Graph& g,
+                                const std::vector<bool>& is_break) {
+  Partition p;
+  p.cluster_of.assign(static_cast<std::size_t>(g.node_count()), -1);
+
+  const auto order = g.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Node& n = g.node(*it);
+    if (!dfg::is_arith_operator(n.kind)) continue;
+    const auto idx = static_cast<std::size_t>(n.id.value);
+
+    // A non-break node may only join a cluster if *all* of its consumers are
+    // clustered operators sharing one cluster; otherwise its value is needed
+    // in more than one place and it must root its own cluster. This realises
+    // Synthesizability Condition 2 (unique cluster outputs) — see DESIGN.md
+    // §2 on the paper's garbled statement of that condition.
+    int target = -1;
+    bool must_root = is_break[idx] || n.out.empty();
+    for (EdgeId eid : n.out) {
+      if (must_root) break;
+      const NodeId dst = g.edge(eid).dst;
+      const int c = p.cluster_of[static_cast<std::size_t>(dst.value)];
+      if (c < 0 || (target != -1 && target != c)) {
+        must_root = true;
+      } else {
+        target = c;
+      }
+    }
+
+    if (must_root) {
+      p.cluster_of[idx] = static_cast<int>(p.clusters.size());
+      Cluster c;
+      c.root = n.id;
+      c.nodes.push_back(n.id);
+      p.clusters.push_back(std::move(c));
+    } else {
+      p.cluster_of[idx] = target;
+      p.clusters[static_cast<std::size_t>(target)].nodes.push_back(n.id);
+    }
+  }
+
+  // Collect input edges (edges whose destination is a member but whose
+  // source is not), in deterministic edge-id order.
+  for (const Edge& e : g.edges()) {
+    const int cd = p.cluster_of[static_cast<std::size_t>(e.dst.value)];
+    if (cd < 0) continue;
+    const int cs = p.cluster_of[static_cast<std::size_t>(e.src.value)];
+    if (cs != cd) {
+      p.clusters[static_cast<std::size_t>(cd)].input_edges.push_back(e.id);
+    }
+  }
+  return p;
+}
+
+std::vector<std::string> validate_partition(const Graph& g,
+                                            const Partition& p) {
+  std::vector<std::string> errs;
+  auto err = [&errs](std::string m) { errs.push_back(std::move(m)); };
+
+  std::vector<int> seen(static_cast<std::size_t>(g.node_count()), -1);
+  for (std::size_t ci = 0; ci < p.clusters.size(); ++ci) {
+    const Cluster& c = p.clusters[ci];
+    if (c.nodes.empty()) {
+      err("cluster " + std::to_string(ci) + " is empty");
+      continue;
+    }
+    for (NodeId n : c.nodes) {
+      if (!dfg::is_arith_operator(g.node(n).kind)) {
+        err("cluster " + std::to_string(ci) +
+            " contains a non-arithmetic node");
+      }
+      if (seen[static_cast<std::size_t>(n.value)] != -1) {
+        err("node " + std::to_string(n.value) + " in two clusters");
+      }
+      seen[static_cast<std::size_t>(n.value)] = static_cast<int>(ci);
+      if (p.index_of(n) != static_cast<int>(ci)) {
+        err("cluster_of inconsistent for node " + std::to_string(n.value));
+      }
+    }
+    // Unique output: exactly one member (the root) has out-edges leaving the
+    // cluster; all other members' fanout stays inside.
+    std::set<int> members;
+    for (NodeId n : c.nodes) members.insert(n.value);
+    int exits = 0;
+    for (NodeId n : c.nodes) {
+      bool leaves = false;
+      for (EdgeId eid : g.node(n).out) {
+        if (!members.count(g.edge(eid).dst.value)) leaves = true;
+      }
+      if (leaves || g.node(n).out.empty()) {
+        ++exits;
+        if (n != c.root) {
+          err("cluster " + std::to_string(ci) + ": node " +
+              std::to_string(n.value) + " exits but is not the root");
+        }
+      }
+    }
+    if (exits != 1) {
+      err("cluster " + std::to_string(ci) + " has " + std::to_string(exits) +
+          " exit nodes");
+    }
+    // Connectivity (as an undirected subgraph).
+    std::set<int> reached;
+    std::vector<NodeId> stack{c.root};
+    reached.insert(c.root.value);
+    while (!stack.empty()) {
+      const NodeId cur = stack.back();
+      stack.pop_back();
+      const Node& nd = g.node(cur);
+      auto visit = [&](NodeId nb) {
+        if (members.count(nb.value) && !reached.count(nb.value)) {
+          reached.insert(nb.value);
+          stack.push_back(nb);
+        }
+      };
+      for (EdgeId eid : nd.in) visit(g.edge(eid).src);
+      for (EdgeId eid : nd.out) visit(g.edge(eid).dst);
+    }
+    if (reached.size() != members.size()) {
+      err("cluster " + std::to_string(ci) + " is not connected");
+    }
+  }
+  // Coverage: every arithmetic node clustered.
+  for (const Node& n : g.nodes()) {
+    if (dfg::is_arith_operator(n.kind) &&
+        seen[static_cast<std::size_t>(n.id.value)] == -1) {
+      err("arithmetic node " + std::to_string(n.id.value) + " unclustered");
+    }
+  }
+  return errs;
+}
+
+}  // namespace dpmerge::cluster

@@ -1,0 +1,96 @@
+#include "dpmerge/designs/figures.h"
+
+#include "dpmerge/dfg/builder.h"
+
+namespace dpmerge::designs {
+
+using dfg::Builder;
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpKind;
+
+namespace {
+
+Graph g2_like(int output_width) {
+  Graph g;
+  Builder b(g);
+  const auto A = b.input("A", 8);
+  const auto B = b.input("B", 8);
+  const auto C = b.input("C", 8);
+  const auto D = b.input("D", 8);
+  const auto E = b.input("E", 8);
+  // N1: the 9-bit sum of A and B truncated to 7 bits (w(N1) = 7).
+  const auto n1 = b.add(7, {A, 8, Sign::Signed}, {B, 8, Sign::Signed});
+  // N2: exact 9-bit sum of C and D.
+  const auto n2 = b.add(9, {C, 9, Sign::Signed}, {D, 9, Sign::Signed});
+  // Edge e: N1's truncated value sign-extended to 9 bits into N3.
+  const auto n3 = b.add(9, {n1, 9, Sign::Signed}, {n2, 9, Sign::Signed});
+  const auto n4 = b.add(9, {n3, 9, Sign::Signed}, {E, 9, Sign::Signed});
+  b.output("R", output_width,
+           {n4, output_width, Sign::Signed});
+  return g;
+}
+
+}  // namespace
+
+Graph figure1_g2() { return g2_like(9); }
+
+Graph figure2_g4() { return g2_like(5); }
+
+Graph figure3_g5() {
+  Graph g;
+  Builder b(g);
+  const auto A = b.input("A", 3);
+  const auto B = b.input("B", 3);
+  const auto C = b.input("C", 3);
+  const auto D = b.input("D", 3);
+  const auto E = b.input("E", 9);
+  const auto n1 = b.add(8, {A, 8, Sign::Signed}, {B, 8, Sign::Signed});
+  const auto n2 = b.add(8, {C, 8, Sign::Signed}, {D, 8, Sign::Signed});
+  const auto n3 = b.add(8, {n1, 8, Sign::Signed}, {n2, 8, Sign::Signed});
+  // Edge e7: sign-extends the 8-bit (apparently truncated) sum to 10 bits.
+  const auto n4 = b.add(10, {n3, 10, Sign::Signed}, {E, 10, Sign::Signed});
+  b.output("R", 10, {n4, 10, Sign::Signed});
+  return g;
+}
+
+FigureNodes figure_nodes(const Graph& g) {
+  FigureNodes f{};
+  int seen = 0;
+  for (const auto& n : g.nodes()) {
+    if (n.kind != OpKind::Add) continue;
+    switch (seen++) {
+      case 0:
+        f.n1 = n.id;
+        break;
+      case 1:
+        f.n2 = n.id;
+        break;
+      case 2:
+        f.n3 = n.id;
+        break;
+      default:
+        f.n4 = n.id;
+        break;
+    }
+  }
+  return f;
+}
+
+Graph figure4_skewed_sum() {
+  Graph g;
+  Builder b(g);
+  const auto A = b.input("A", 4, Sign::Unsigned);
+  const auto B = b.input("B", 4, Sign::Unsigned);
+  const auto C = b.input("C", 4, Sign::Unsigned);
+  const auto D = b.input("D", 4, Sign::Unsigned);
+  // Skewed chain ((A+B)+C)+D, each adder wide enough to be lossless, all
+  // edges unsigned.
+  const auto s1 = b.add(8, {A, 8, Sign::Unsigned}, {B, 8, Sign::Unsigned});
+  const auto s2 = b.add(8, {s1, 8, Sign::Unsigned}, {C, 8, Sign::Unsigned});
+  const auto s3 = b.add(8, {s2, 8, Sign::Unsigned}, {D, 8, Sign::Unsigned});
+  b.output("Z", 8, {s3, 8, Sign::Unsigned});
+  return g;
+}
+
+}  // namespace dpmerge::designs

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "dpmerge/dfg/graph.h"
+
+namespace dpmerge::designs {
+
+/// The worked examples of the paper's figures, reconstructed from the prose
+/// of Sections 3-5. Node naming follows the figures (N1..N4).
+
+/// Figure 1(a), graph G2: N1 = A+B computed at 7 bits (truncating the 9-bit
+/// sum), sign-extended to 9 bits on edge e into N3; N2 = C+D at 9 bits;
+/// N3 = N1+N2 at 9 bits; N4 = N3+E at 9 bits; output R is 9 bits wide.
+/// The truncate-then-extend at N1 forces the two-cluster partition of
+/// Figure 1(b): G_I = {N1}, G_II = {N2, N3, N4}.
+dfg::Graph figure1_g2();
+
+/// Figure 2(a), graph G4: identical to G2 except the output R is 5 bits
+/// wide. Required precision of every signal is 5, so the graph transforms
+/// to G4' (all widths 5) and becomes completely mergeable.
+dfg::Graph figure2_g4();
+
+/// Figure 3(a), graph G5: small inputs A..D (3 bits) feed N1 = A+B and
+/// N2 = C+D at 8 bits, N3 = N1+N2 at 8 bits, and edge e7 sign-extends N3's
+/// result to 10 bits into N4 = N3+E (E is 9 bits); output R is 10 bits.
+/// e7 looks like a merge boundary (sign-extension of an 8-bit truncated
+/// sum) but information-content analysis shows N3 carries only a 5-bit sum,
+/// yielding the fully mergeable G5'.
+dfg::Graph figure3_g5();
+
+/// Node ids of interest in the figure graphs, for tests and benches.
+struct FigureNodes {
+  dfg::NodeId n1, n2, n3, n4;
+};
+FigureNodes figure_nodes(const dfg::Graph& g);
+
+/// Figure 4(a): the skewed 4-input sum (4-bit unsigned inputs A..D added in
+/// a chain) whose skewed information-content bound is <7, unsigned> while
+/// Huffman rebalancing proves <6, unsigned>.
+dfg::Graph figure4_skewed_sum();
+
+}  // namespace dpmerge::designs

@@ -1,0 +1,85 @@
+#include "dpmerge/designs/kernels.h"
+
+#include "dpmerge/frontend/parser.h"
+
+namespace dpmerge::designs {
+
+namespace {
+
+Kernel make(const std::string& name, const std::string& source) {
+  auto compiled = frontend::compile(source);
+  return Kernel{name, source, std::move(compiled.graph)};
+}
+
+}  // namespace
+
+std::vector<Kernel> dsp_kernels() {
+  std::vector<Kernel> v;
+
+  v.push_back(make("fir8", R"(design fir8
+input x0 : s8
+input x1 : s8
+input x2 : s8
+input x3 : s8
+input x4 : s8
+input x5 : s8
+input x6 : s8
+input x7 : s8
+output y : s16 = x0 + 2 * x1 + 7 * x2 + 8 * x3 + 8 * x4 + 7 * x5 + 2 * x6 + x7
+)"));
+
+  v.push_back(make("biquad", R"(design biquad
+# direct-form-I biquad: y = b0*x + b1*x1 + b2*x2 - a1*y1 - a2*y2
+input x  : s10
+input x1 : s10
+input x2 : s10
+input y1 : s12
+input y2 : s12
+output y : s18 = 13 * x + 5 * x1 + 13 * x2 - 9 * y1 - 4 * y2
+)"));
+
+  v.push_back(make("complex_mul", R"(design complex_mul
+input ar : s10
+input ai : s10
+input br : s10
+input bi : s10
+output re : s21 = ar * br - ai * bi
+output im : s21 = ar * bi + ai * br
+)"));
+
+  v.push_back(make("dct4", R"(design dct4
+# 4-point DCT-II row, integer-scaled cosine coefficients
+input s0 : s9
+input s1 : s9
+input s2 : s9
+input s3 : s9
+output c0 : s13 = (s0 + s1 + s2 + s3) << 1
+output c1 : s15 = 3 * s0 + s1 - s2 - 3 * s3
+output c2 : s13 = ((s0 - s1 - s2 + s3) << 1)
+output c3 : s15 = s0 - 3 * s1 + 3 * s2 - s3
+)"));
+
+  v.push_back(make("matvec3", R"(design matvec3
+input v0 : s8
+input v1 : s8
+input v2 : s8
+output r0 : s13 = 2 * v0 + 3 * v1 + v2
+output r1 : s13 = v0 - 4 * v1 + 2 * v2
+output r2 : s13 = 5 * v0 + v1 - 2 * v2
+)"));
+
+  v.push_back(make("checksum8", R"(design checksum8
+# modular byte checksum: low 8 bits of a sum plus bias (the output
+# truncation is the point -- required precision collapses the adders)
+input p0 : u8
+input p1 : u8
+input p2 : u8
+input p3 : u8
+let sum = p0 + p1 + p2 + p3 + 2
+output m : u8 = sum
+)"));
+
+  return v;
+}
+
+}  // namespace dpmerge::designs

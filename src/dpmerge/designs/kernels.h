@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dpmerge/dfg/graph.h"
+
+namespace dpmerge::designs {
+
+/// A suite of classic DSP/graphics datapath kernels — the workload family
+/// the paper's introduction motivates ("chips for graphics, communication
+/// and multimedia processing... FFTs, FIR filters and other DSP
+/// algorithms"). Each kernel is written in the frontend expression language
+/// and compiled to a DFG; `source` is kept for documentation and tooling.
+struct Kernel {
+  std::string name;
+  std::string source;
+  dfg::Graph graph;
+};
+
+/// fir8        8-tap FIR, constant coefficients (several powers of two)
+/// biquad      direct-form-I biquad section (combinational core)
+/// complex_mul complex multiply (FFT butterfly kernel)
+/// dct4        4-point DCT-II row with integer coefficients
+/// matvec3     3x3 integer matrix-vector product (three dot products)
+/// checksum8   modular byte checksum (truncated sum; required-precision showcase)
+std::vector<Kernel> dsp_kernels();
+
+}  // namespace dpmerge::designs

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dpmerge/dfg/graph.h"
+
+namespace dpmerge::designs {
+
+/// The five datapath-only testcases of Section 7, reconstructed from the
+/// paper's prose. The originals are proprietary Cadence RTL; these
+/// generators encode the characteristics the paper describes for each (see
+/// DESIGN.md §1):
+///
+///  - D1, D2: networks of potentially mergeable additions with *no redundant
+///    widths* in the RTL — accumulation chains whose declared widths match
+///    the true magnitude of the running sums. A skewed first-pass analysis
+///    over-estimates the chain outputs' information content, so both the old
+///    algorithm and the first iteration of the new one split at the chain
+///    ends; the Huffman-rebalancing iterations prove the tighter bound and
+///    merge the clusters (the paper's explanation of D1/D2's gains).
+///  - D3: a sum of products of sums; information analysis prunes the widths
+///    of the product outputs and merges them with the final addition.
+///  - D4, D5: datapaths with heavily redundant intermediate widths (small
+///    operands carried on wide wires, with mid-stream truncate-then-extend
+///    points); information analysis prunes the redundancy to the minimum and
+///    dissolves the spurious merge boundaries.
+struct Testcase {
+  std::string name;
+  dfg::Graph graph;
+};
+
+dfg::Graph make_d1();
+dfg::Graph make_d2();
+dfg::Graph make_d3();
+dfg::Graph make_d4();
+dfg::Graph make_d5();
+
+/// All five, in paper order.
+std::vector<Testcase> all_testcases();
+
+}  // namespace dpmerge::designs

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <string>
+
+#include "dpmerge/dfg/graph.h"
+
+namespace dpmerge::dfg {
+
+/// Convenience layer for constructing DFGs in tests, examples and workload
+/// generators. An `Operand` names a source node plus the edge attributes
+/// (width w(e) and signedness t(e)) of the connection; `width == 0` means
+/// "same width as the source node" (a plain, non-resizing connection).
+struct Operand {
+  NodeId node;
+  int width = 0;
+  Sign sign = Sign::Unsigned;
+};
+
+class Builder {
+ public:
+  explicit Builder(Graph& g) : g_(g) {}
+
+  NodeId input(std::string name, int width, Sign value_sign = Sign::Signed) {
+    const NodeId id = g_.add_node(OpKind::Input, width, std::move(name));
+    g_.set_node_ext_sign(id, value_sign);
+    return id;
+  }
+
+  NodeId constant(int width, std::int64_t value, std::string name = {}) {
+    return g_.add_const(BitVector::from_int(width, value), std::move(name));
+  }
+
+  NodeId add(int width, Operand a, Operand b) {
+    return binary(OpKind::Add, width, a, b);
+  }
+  NodeId sub(int width, Operand a, Operand b) {
+    return binary(OpKind::Sub, width, a, b);
+  }
+  NodeId mul(int width, Operand a, Operand b) {
+    return binary(OpKind::Mul, width, a, b);
+  }
+  NodeId neg(int width, Operand a) {
+    const NodeId id = g_.add_node(OpKind::Neg, width);
+    connect(a, id, 0);
+    return id;
+  }
+
+  /// Shift left by a constant amount (result modulo 2^width).
+  NodeId shl(int width, Operand a, int shift) {
+    const NodeId id = g_.add_node(OpKind::Shl, width);
+    g_.set_node_shift(id, shift);
+    connect(a, id, 0);
+    return id;
+  }
+
+  /// Comparators: 1-bit results carried zero-padded in `width` bits.
+  NodeId lt_signed(int width, Operand a, Operand b) {
+    return binary(OpKind::LtS, width, a, b);
+  }
+  NodeId lt_unsigned(int width, Operand a, Operand b) {
+    return binary(OpKind::LtU, width, a, b);
+  }
+  NodeId eq(int width, Operand a, Operand b) {
+    return binary(OpKind::Eq, width, a, b);
+  }
+
+  NodeId output(std::string name, int width, Operand a) {
+    const NodeId id = g_.add_node(OpKind::Output, width, std::move(name));
+    connect(a, id, 0);
+    return id;
+  }
+
+  /// Explicit extension/truncation node (Definition 5.5).
+  NodeId extension(int width, Sign t, Operand a) {
+    const NodeId id = g_.add_node(OpKind::Extension, width);
+    g_.set_node_ext_sign(id, t);
+    connect(a, id, 0);
+    return id;
+  }
+
+  Graph& graph() { return g_; }
+
+ private:
+  NodeId binary(OpKind k, int width, Operand a, Operand b) {
+    const NodeId id = g_.add_node(k, width);
+    connect(a, id, 0);
+    connect(b, id, 1);
+    return id;
+  }
+
+  void connect(Operand o, NodeId dst, int port) {
+    g_.add_edge(o.node, dst, port, o.width, o.sign);
+  }
+
+  Graph& g_;
+};
+
+}  // namespace dpmerge::dfg

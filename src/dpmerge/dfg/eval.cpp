@@ -1,0 +1,196 @@
+#include "dpmerge/dfg/eval.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dpmerge::dfg {
+
+Evaluator::Evaluator(const Graph& g) : g_(g), order_(g.topo_order()) {
+  input_order_ = g.inputs();
+}
+
+BitVector Evaluator::carried_on_edge(
+    EdgeId eid, const std::vector<BitVector>& results) const {
+  const Edge& e = g_.edge(eid);
+  return results[static_cast<std::size_t>(e.src.value)].resize(e.width,
+                                                               e.sign);
+}
+
+BitVector Evaluator::operand_via_edge(
+    EdgeId eid, const std::vector<BitVector>& results) const {
+  const Edge& e = g_.edge(eid);
+  const Node& dst = g_.node(e.dst);
+  const BitVector carried = carried_on_edge(eid, results);
+  if (dst.kind == OpKind::Extension) {
+    // Definition 5.5: the node's own width/signedness governs the resize.
+    return carried.resize(dst.width, dst.ext_sign);
+  }
+  return carried.resize(dst.width, e.sign);
+}
+
+std::vector<BitVector> Evaluator::run(
+    const std::vector<BitVector>& inputs) const {
+  if (inputs.size() != input_order_.size()) {
+    throw std::invalid_argument("stimulus count mismatch");
+  }
+  std::vector<BitVector> results(static_cast<std::size_t>(g_.node_count()));
+  for (std::size_t i = 0; i < input_order_.size(); ++i) {
+    const Node& n = g_.node(input_order_[i]);
+    if (inputs[i].width() != n.width) {
+      throw std::invalid_argument("stimulus width mismatch for input '" +
+                                  n.name + "'");
+    }
+    results[static_cast<std::size_t>(n.id.value)] = inputs[i];
+  }
+  for (NodeId id : order_) {
+    const Node& n = g_.node(id);
+    auto& out = results[static_cast<std::size_t>(id.value)];
+    switch (n.kind) {
+      case OpKind::Input:
+        break;  // already set
+      case OpKind::Const:
+        out = n.value;
+        break;
+      case OpKind::Output:
+      case OpKind::Extension:
+        out = operand_via_edge(n.in[0], results);
+        break;
+      case OpKind::Neg:
+        out = operand_via_edge(n.in[0], results).negate();
+        break;
+      case OpKind::Add:
+        out = operand_via_edge(n.in[0], results)
+                  .add(operand_via_edge(n.in[1], results));
+        break;
+      case OpKind::Sub:
+        out = operand_via_edge(n.in[0], results)
+                  .sub(operand_via_edge(n.in[1], results));
+        break;
+      case OpKind::Mul:
+        out = operand_via_edge(n.in[0], results)
+                  .mul(operand_via_edge(n.in[1], results));
+        break;
+      case OpKind::Shl:
+        out = operand_via_edge(n.in[0], results).shl(n.shift);
+        break;
+      case OpKind::LtS:
+      case OpKind::LtU:
+      case OpKind::Eq: {
+        const BitVector a = operand_via_edge(n.in[0], results);
+        const BitVector b = operand_via_edge(n.in[1], results);
+        bool r = false;
+        if (n.kind == OpKind::LtS) {
+          r = a.signed_lt(b);
+        } else if (n.kind == OpKind::LtU) {
+          r = a.unsigned_lt(b);
+        } else {
+          r = a == b;
+        }
+        out = BitVector::from_uint(n.width, r ? 1 : 0);
+        break;
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<BitVector> Evaluator::run_outputs(
+    const std::vector<BitVector>& inputs) const {
+  const auto results = run(inputs);
+  std::vector<BitVector> outs;
+  for (NodeId id : g_.outputs()) {
+    outs.push_back(results[static_cast<std::size_t>(id.value)]);
+  }
+  return outs;
+}
+
+std::vector<BitVector> Evaluator::random_inputs(Rng& rng) const {
+  std::vector<BitVector> v;
+  v.reserve(input_order_.size());
+  for (NodeId id : input_order_) {
+    v.push_back(rng.bits(g_.node(id).width));
+  }
+  return v;
+}
+
+namespace {
+
+std::vector<BitVector> pattern_inputs(const Graph& g, bool ones) {
+  std::vector<BitVector> v;
+  for (NodeId id : g.inputs()) {
+    BitVector b(g.node(id).width);
+    if (ones) b = b.bit_not();
+    v.push_back(b);
+  }
+  return v;
+}
+
+/// Reorders `vals` (in a-input order) into b-input order by matching names.
+std::vector<BitVector> permute_by_name(const Graph& a, const Graph& b,
+                                       const std::vector<BitVector>& vals) {
+  const auto ai = a.inputs();
+  const auto bi = b.inputs();
+  std::vector<BitVector> out;
+  out.reserve(bi.size());
+  for (NodeId bid : bi) {
+    const std::string& name = b.node(bid).name;
+    bool found = false;
+    for (std::size_t k = 0; k < ai.size(); ++k) {
+      if (a.node(ai[k]).name == name) {
+        out.push_back(vals[k]);
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw std::invalid_argument("input '" + name + "' missing");
+  }
+  return out;
+}
+
+}  // namespace
+
+bool equivalent_by_simulation(const Graph& a, const Graph& b, int trials,
+                              Rng& rng, std::string* first_mismatch) {
+  Evaluator ea(a);
+  Evaluator eb(b);
+  const auto a_outs = a.outputs();
+  const auto b_outs = b.outputs();
+  if (a_outs.size() != b_outs.size()) {
+    if (first_mismatch) *first_mismatch = "output count differs";
+    return false;
+  }
+
+  auto check = [&](const std::vector<BitVector>& stim_a) {
+    const auto ra = ea.run_outputs(stim_a);
+    const auto rb = eb.run_outputs(permute_by_name(a, b, stim_a));
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      // Match b's output by name, to tolerate node-id reordering.
+      const std::string& name = a.node(a_outs[i]).name;
+      std::size_t j = 0;
+      for (; j < b_outs.size(); ++j) {
+        if (b.node(b_outs[j]).name == name) break;
+      }
+      if (j == b_outs.size() || ra[i] != rb[j]) {
+        if (first_mismatch) {
+          std::ostringstream os;
+          os << "output '" << name << "' differs: "
+             << ra[i].to_string() << " vs "
+             << (j == b_outs.size() ? std::string("<missing>")
+                                    : rb[j].to_string());
+          *first_mismatch = os.str();
+        }
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (!check(pattern_inputs(a, false))) return false;
+  if (!check(pattern_inputs(a, true))) return false;
+  for (int t = 0; t < trials; ++t) {
+    if (!check(ea.random_inputs(rng))) return false;
+  }
+  return true;
+}
+
+}  // namespace dpmerge::dfg

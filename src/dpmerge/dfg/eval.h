@@ -1,0 +1,63 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dpmerge/dfg/graph.h"
+#include "dpmerge/support/rng.h"
+
+namespace dpmerge::dfg {
+
+/// Bit-accurate reference interpreter for DFGs, implementing the width and
+/// signedness semantics of Section 2.2 exactly:
+///
+///   carried(e) = resize(result(src(e)), w(e), t(e))
+///   operand    = resize(carried(e), w(N), t(e))        for arith operators
+///   result(N)  = op(operands) mod 2^w(N)
+///
+/// Extension nodes apply Definition 5.5 instead (their own <w(N), t(N)>
+/// governs the final resize). This interpreter defines "functionality" for
+/// every safety theorem in the paper; all transformation and synthesis
+/// equivalence tests compare against it.
+class Evaluator {
+ public:
+  explicit Evaluator(const Graph& g);
+
+  /// `inputs[i]` is the stimulus for the i-th Input node in `g.inputs()`
+  /// order and must match that node's width.
+  /// Returns the value at every node's output port, indexed by NodeId.
+  std::vector<BitVector> run(const std::vector<BitVector>& inputs) const;
+
+  /// Values at Output nodes only, in `g.outputs()` order.
+  std::vector<BitVector> run_outputs(const std::vector<BitVector>& inputs) const;
+
+  /// The operand value delivered into (dst, dst_port) of `e` given the
+  /// already-computed node results. Exposed for the analyses' property tests.
+  BitVector operand_via_edge(EdgeId e,
+                             const std::vector<BitVector>& results) const;
+
+  /// The value carried on edge `e` itself (after the first resize).
+  BitVector carried_on_edge(EdgeId e,
+                            const std::vector<BitVector>& results) const;
+
+  /// Uniformly random stimulus vector for the graph's inputs.
+  std::vector<BitVector> random_inputs(Rng& rng) const;
+
+  const Graph& graph() const { return g_; }
+
+ private:
+  const Graph& g_;
+  std::vector<NodeId> order_;
+  std::vector<NodeId> input_order_;
+};
+
+/// True iff the two graphs compute identical primary-output values on
+/// `trials` random stimuli (and on the all-zero / all-one patterns). The
+/// graphs must have the same inputs and outputs, by name, with equal widths;
+/// stimuli are paired by input name so transformed graphs with re-ordered
+/// node ids still compare correctly.
+bool equivalent_by_simulation(const Graph& a, const Graph& b, int trials,
+                              Rng& rng, std::string* first_mismatch = nullptr);
+
+}  // namespace dpmerge::dfg

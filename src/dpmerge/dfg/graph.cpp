@@ -1,0 +1,313 @@
+#include "dpmerge/dfg/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dpmerge::dfg {
+
+bool is_operator(OpKind k) {
+  switch (k) {
+    case OpKind::Input:
+    case OpKind::Output:
+    case OpKind::Const:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool is_arith_operator(OpKind k) {
+  return k == OpKind::Add || k == OpKind::Sub || k == OpKind::Mul ||
+         k == OpKind::Neg || k == OpKind::Shl;
+}
+
+bool is_comparator(OpKind k) {
+  return k == OpKind::LtS || k == OpKind::LtU || k == OpKind::Eq;
+}
+
+int operand_count(OpKind k) {
+  switch (k) {
+    case OpKind::Input:
+    case OpKind::Const:
+      return 0;
+    case OpKind::Output:
+    case OpKind::Neg:
+    case OpKind::Shl:
+    case OpKind::Extension:
+      return 1;
+    case OpKind::Add:
+    case OpKind::Sub:
+    case OpKind::Mul:
+    case OpKind::LtS:
+    case OpKind::LtU:
+    case OpKind::Eq:
+      return 2;
+  }
+  return 0;
+}
+
+std::string_view to_string(OpKind k) {
+  switch (k) {
+    case OpKind::Input:
+      return "input";
+    case OpKind::Output:
+      return "output";
+    case OpKind::Const:
+      return "const";
+    case OpKind::Add:
+      return "+";
+    case OpKind::Sub:
+      return "-";
+    case OpKind::Mul:
+      return "*";
+    case OpKind::Neg:
+      return "neg";
+    case OpKind::Shl:
+      return "shl";
+    case OpKind::LtS:
+      return "lts";
+    case OpKind::LtU:
+      return "ltu";
+    case OpKind::Eq:
+      return "eq";
+    case OpKind::Extension:
+      return "ext";
+  }
+  return "?";
+}
+
+NodeId Graph::add_node(OpKind kind, int width, std::string name) {
+  Node n;
+  n.id = NodeId{node_count()};
+  n.kind = kind;
+  n.width = width;
+  n.name = std::move(name);
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+NodeId Graph::add_const(const BitVector& value, std::string name) {
+  const NodeId id = add_node(OpKind::Const, value.width(), std::move(name));
+  nodes_[static_cast<std::size_t>(id.value)].value = value;
+  return id;
+}
+
+EdgeId Graph::add_edge(NodeId src, NodeId dst, int dst_port, int width,
+                       Sign sign) {
+  assert(src.valid() && dst.valid());
+  Edge e;
+  e.id = EdgeId{edge_count()};
+  e.src = src;
+  e.dst = dst;
+  e.dst_port = dst_port;
+  e.width = width == 0 ? node(src).width : width;
+  e.sign = sign;
+  edges_.push_back(e);
+
+  auto& sn = nodes_[static_cast<std::size_t>(src.value)];
+  sn.out.push_back(e.id);
+  auto& dn = nodes_[static_cast<std::size_t>(dst.value)];
+  if (static_cast<int>(dn.in.size()) <= dst_port) {
+    dn.in.resize(static_cast<std::size_t>(dst_port) + 1, EdgeId{});
+  }
+  assert(!dn.in[static_cast<std::size_t>(dst_port)].valid() &&
+         "input port already connected");
+  dn.in[static_cast<std::size_t>(dst_port)] = e.id;
+  return e.id;
+}
+
+void Graph::set_node_width(NodeId id, int width) {
+  assert(width > 0);
+  nodes_[static_cast<std::size_t>(id.value)].width = width;
+}
+
+void Graph::set_node_ext_sign(NodeId id, Sign s) {
+  nodes_[static_cast<std::size_t>(id.value)].ext_sign = s;
+}
+
+void Graph::set_node_shift(NodeId id, int shift) {
+  assert(shift >= 0);
+  nodes_[static_cast<std::size_t>(id.value)].shift = shift;
+}
+
+void Graph::set_edge_width(EdgeId id, int width) {
+  assert(width > 0);
+  edges_[static_cast<std::size_t>(id.value)].width = width;
+}
+
+void Graph::set_edge_sign(EdgeId id, Sign s) {
+  edges_[static_cast<std::size_t>(id.value)].sign = s;
+}
+
+NodeId Graph::insert_extension_after(NodeId n, int ext_width, Sign ext_sign,
+                                     int edge_width) {
+  const NodeId ext = add_node(OpKind::Extension, ext_width);
+  nodes_[static_cast<std::size_t>(ext.value)].ext_sign = ext_sign;
+
+  // Move existing out-edges of n so they originate at ext. The n->ext edge is
+  // added afterwards so it is not itself moved.
+  auto moved = nodes_[static_cast<std::size_t>(n.value)].out;
+  nodes_[static_cast<std::size_t>(n.value)].out.clear();
+  for (EdgeId eid : moved) {
+    edges_[static_cast<std::size_t>(eid.value)].src = ext;
+    nodes_[static_cast<std::size_t>(ext.value)].out.push_back(eid);
+  }
+  add_edge(n, ext, 0, edge_width, ext_sign);
+  return ext;
+}
+
+NodeId Graph::insert_extension_retarget(NodeId n, int ext_width,
+                                        Sign ext_sign,
+                                        const std::vector<EdgeId>& moved) {
+  const NodeId ext = add_node(OpKind::Extension, ext_width);
+  nodes_[static_cast<std::size_t>(ext.value)].ext_sign = ext_sign;
+  auto& n_out = nodes_[static_cast<std::size_t>(n.value)].out;
+  for (EdgeId eid : moved) {
+    const auto it = std::find(n_out.begin(), n_out.end(), eid);
+    assert(it != n_out.end() && "edge is not an out-edge of n");
+    n_out.erase(it);
+    edges_[static_cast<std::size_t>(eid.value)].src = ext;
+    nodes_[static_cast<std::size_t>(ext.value)].out.push_back(eid);
+  }
+  add_edge(n, ext, 0, node(n).width, ext_sign);
+  return ext;
+}
+
+std::vector<NodeId> Graph::inputs() const {
+  std::vector<NodeId> r;
+  for (const auto& n : nodes_) {
+    if (n.kind == OpKind::Input) r.push_back(n.id);
+  }
+  return r;
+}
+
+std::vector<NodeId> Graph::outputs() const {
+  std::vector<NodeId> r;
+  for (const auto& n : nodes_) {
+    if (n.kind == OpKind::Output) r.push_back(n.id);
+  }
+  return r;
+}
+
+std::vector<NodeId> Graph::topo_order() const {
+  std::vector<int> pending(nodes_.size(), 0);
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  std::vector<NodeId> ready;
+  for (const auto& n : nodes_) {
+    int cnt = 0;
+    for (EdgeId e : n.in) {
+      if (e.valid()) ++cnt;
+    }
+    pending[static_cast<std::size_t>(n.id.value)] = cnt;
+    if (cnt == 0) ready.push_back(n.id);
+  }
+  while (!ready.empty()) {
+    const NodeId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (EdgeId eid : node(id).out) {
+      const NodeId d = edge(eid).dst;
+      if (--pending[static_cast<std::size_t>(d.value)] == 0) {
+        ready.push_back(d);
+      }
+    }
+  }
+  assert(order.size() == nodes_.size() && "graph has a cycle");
+  return order;
+}
+
+std::vector<std::string> Graph::validate() const {
+  std::vector<std::string> errs;
+  auto err = [&errs](std::string m) { errs.push_back(std::move(m)); };
+
+  for (const auto& n : nodes_) {
+    const std::string tag =
+        "node " + std::to_string(n.id.value) + " (" +
+        std::string(to_string(n.kind)) + ")";
+    if (n.width <= 0) err(tag + ": non-positive width");
+    const int want = operand_count(n.kind);
+    if (static_cast<int>(n.in.size()) != want) {
+      err(tag + ": expected " + std::to_string(want) + " operands, has " +
+          std::to_string(n.in.size()));
+    }
+    for (std::size_t p = 0; p < n.in.size(); ++p) {
+      if (!n.in[p].valid()) {
+        err(tag + ": input port " + std::to_string(p) + " unconnected");
+      } else if (edge(n.in[p]).dst != n.id ||
+                 edge(n.in[p]).dst_port != static_cast<int>(p)) {
+        err(tag + ": inconsistent in-edge bookkeeping");
+      }
+    }
+    if (n.kind == OpKind::Output && !n.out.empty()) {
+      err(tag + ": output node has fanout");
+    }
+    for (EdgeId eid : n.out) {
+      if (edge(eid).src != n.id) err(tag + ": inconsistent out-edge");
+    }
+    if (n.kind == OpKind::Const && n.value.width() != n.width) {
+      err(tag + ": const value width mismatch");
+    }
+  }
+  for (const auto& e : edges_) {
+    if (e.width <= 0) {
+      err("edge " + std::to_string(e.id.value) + ": non-positive width");
+    }
+  }
+  // Acyclicity: topo_order asserts in debug; check explicitly here.
+  {
+    std::vector<int> pending(nodes_.size(), 0);
+    std::vector<NodeId> ready;
+    std::size_t seen = 0;
+    for (const auto& n : nodes_) {
+      int cnt = 0;
+      for (EdgeId e : n.in) {
+        if (e.valid()) ++cnt;
+      }
+      pending[static_cast<std::size_t>(n.id.value)] = cnt;
+      if (cnt == 0) ready.push_back(n.id);
+    }
+    while (!ready.empty()) {
+      const NodeId id = ready.back();
+      ready.pop_back();
+      ++seen;
+      for (EdgeId eid : node(id).out) {
+        const NodeId d = edge(eid).dst;
+        if (--pending[static_cast<std::size_t>(d.value)] == 0) {
+          ready.push_back(d);
+        }
+      }
+    }
+    if (seen != nodes_.size()) err("graph contains a cycle");
+  }
+  return errs;
+}
+
+std::string Graph::to_dot(const std::vector<std::string>& annotations) const {
+  std::ostringstream os;
+  os << "digraph dfg {\n  rankdir=TB;\n";
+  for (const auto& n : nodes_) {
+    os << "  n" << n.id.value << " [label=\"";
+    if (!n.name.empty()) os << n.name << "\\n";
+    os << to_string(n.kind) << " w=" << n.width;
+    if (n.kind == OpKind::Extension) os << " t=" << to_string(n.ext_sign);
+    if (n.kind == OpKind::Shl) os << " <<" << n.shift;
+    if (static_cast<std::size_t>(n.id.value) < annotations.size() &&
+        !annotations[static_cast<std::size_t>(n.id.value)].empty()) {
+      os << "\\n" << annotations[static_cast<std::size_t>(n.id.value)];
+    }
+    os << "\"";
+    if (n.kind == OpKind::Input || n.kind == OpKind::Output) {
+      os << " shape=box";
+    }
+    os << "];\n";
+  }
+  for (const auto& e : edges_) {
+    os << "  n" << e.src.value << " -> n" << e.dst.value << " [label=\"w="
+       << e.width << (e.sign == Sign::Signed ? " s" : " u") << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dpmerge::dfg

@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "dpmerge/support/bitvector.h"
+#include "dpmerge/support/sign.h"
+
+namespace dpmerge::dfg {
+
+/// Kinds of DFG nodes. The paper (Section 2.1) restricts the discussion to
+/// +, -, x and unary minus "for the sake of clarity" but notes the analyses
+/// apply to shifters and comparators too; this implementation includes both:
+/// `Shl` (shift left by a constant — fully mergeable, its addends are just
+/// column-shifted CSA rows) and the comparators `LtS`/`LtU`/`Eq` (1-bit
+/// results, natural cluster boundaries). `Extension` nodes are the explicit
+/// truncate-or-extend operators introduced by the information-content width
+/// pruning transformation (Definition 5.5). `Const` nodes let designs express
+/// constant multiples (Observation 5.9) directly.
+enum class OpKind : unsigned char {
+  Input,
+  Output,
+  Const,
+  Add,
+  Sub,
+  Mul,
+  Neg,        // unary minus
+  Shl,        // shift left by the node's constant `shift` attribute
+  LtS,        // signed less-than, 1-bit result (width still w(N), zero-padded)
+  LtU,        // unsigned less-than
+  Eq,         // equality
+  Extension,  // explicit width adaptation (Definition 5.5)
+};
+
+bool is_operator(OpKind k);          // everything except Input/Output/Const
+bool is_arith_operator(OpKind k);    // Add/Sub/Mul/Neg/Shl (mergeable ops)
+bool is_comparator(OpKind k);        // LtS/LtU/Eq
+int operand_count(OpKind k);         // expected number of input ports
+std::string_view to_string(OpKind k);
+
+struct NodeId {
+  int value = -1;
+  bool valid() const { return value >= 0; }
+  auto operator<=>(const NodeId&) const = default;
+};
+
+struct EdgeId {
+  int value = -1;
+  bool valid() const { return value >= 0; }
+  auto operator<=>(const EdgeId&) const = default;
+};
+
+/// A DFG node. `width` is w(N): for inputs/outputs the signal bitwidth, for
+/// operator nodes the number of bits used to represent operands and result
+/// (Section 2.1). `ext_sign` is meaningful for `Extension` nodes (t(N) of
+/// Definition 5.5) and for `Input` nodes, where it declares how the
+/// environment interprets the input value (used only as documentation and by
+/// workload generators; the analyses derive signedness from edges).
+struct Node {
+  NodeId id;
+  OpKind kind = OpKind::Add;
+  int width = 0;
+  int shift = 0;  ///< Shift amount; only for OpKind::Shl.
+  Sign ext_sign = Sign::Unsigned;
+  BitVector value;    ///< Constant value; only for OpKind::Const.
+  std::string name;   ///< Optional; inputs/outputs usually carry one.
+  std::vector<EdgeId> in;   ///< Ordered by destination port index.
+  std::vector<EdgeId> out;  ///< Unordered fanout list.
+};
+
+/// A DFG edge with its width w(e) and signedness t(e) (Section 2.1). The
+/// value carried and the operand delivered follow Section 2.2:
+///   carried(e)  = resize(result(src), w(e), t(e))
+///   operand     = resize(carried(e), w(dst), t(e))   [for arith operators]
+struct Edge {
+  EdgeId id;
+  NodeId src;
+  NodeId dst;
+  int dst_port = 0;  ///< Operand index at the destination node.
+  int width = 0;     ///< w(e)
+  Sign sign = Sign::Unsigned;  ///< t(e)
+};
+
+/// A data flow graph of datapath operators: directed, acyclic, connected
+/// (Section 2.1). Nodes and edges are stored in stable index vectors; ids are
+/// never reused. The only structural mutations the paper's transformations
+/// need are width/sign updates, extension-node insertion and edge rewiring,
+/// all provided here; removal is not supported (and not needed).
+class Graph {
+ public:
+  NodeId add_node(OpKind kind, int width, std::string name = {});
+  NodeId add_const(const BitVector& value, std::string name = {});
+
+  /// Adds an edge src -> (dst, dst_port) with width/sign attributes.
+  /// `width == 0` is shorthand for "the source node's width".
+  EdgeId add_edge(NodeId src, NodeId dst, int dst_port, int width = 0,
+                  Sign sign = Sign::Unsigned);
+
+  const Node& node(NodeId id) const {
+    return nodes_[static_cast<std::size_t>(id.value)];
+  }
+  const Edge& edge(EdgeId id) const {
+    return edges_[static_cast<std::size_t>(id.value)];
+  }
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // ---- mutation (used by the width-pruning transformations) ----
+  void set_node_width(NodeId id, int width);
+  void set_node_ext_sign(NodeId id, Sign s);
+  void set_node_shift(NodeId id, int shift);
+  void set_edge_width(EdgeId id, int width);
+  void set_edge_sign(EdgeId id, Sign s);
+
+  /// Lemma 5.6 rewiring: inserts a new Extension node E after `n`, moving all
+  /// out-edges of `n` so they originate at E, and connecting n -> E with an
+  /// edge of width `edge_width` (signedness immaterial per the lemma; we use
+  /// `ext_sign`). Returns E's id.
+  NodeId insert_extension_after(NodeId n, int ext_width, Sign ext_sign,
+                                int edge_width);
+
+  /// Like `insert_extension_after`, but moves only the listed out-edges of
+  /// `n` to the new Extension node (used when only some consumers need the
+  /// materialised wide value). The n -> E edge gets n's current width.
+  NodeId insert_extension_retarget(NodeId n, int ext_width, Sign ext_sign,
+                                   const std::vector<EdgeId>& edges);
+
+  // ---- queries ----
+  std::vector<NodeId> inputs() const;
+  std::vector<NodeId> outputs() const;
+
+  /// Nodes in a topological order (sources first). The graph must be acyclic.
+  std::vector<NodeId> topo_order() const;
+
+  /// Source-node result width feeding this edge (w(src)).
+  int src_width(EdgeId e) const { return node(edge(e).src).width; }
+
+  /// Checks structural invariants; returns a human-readable list of
+  /// violations (empty == valid): acyclicity, port arity/ordering, one
+  /// in-edge per input port, outputs have no fanout, positive widths.
+  std::vector<std::string> validate() const;
+
+  /// Graphviz dot rendering with widths, signs and (optionally) per-node
+  /// annotations, for debugging and the figure benches.
+  std::string to_dot(
+      const std::vector<std::string>& node_annotations = {}) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace dpmerge::dfg

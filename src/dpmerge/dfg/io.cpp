@@ -1,0 +1,211 @@
+#include "dpmerge/dfg/io.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace dpmerge::dfg {
+
+namespace {
+
+std::string node_ref(const Graph& g, NodeId id) {
+  const Node& n = g.node(id);
+  return n.name.empty() ? "_n" + std::to_string(n.id.value) : n.name;
+}
+
+OpKind kind_from(const std::string& s, int line) {
+  if (s == "add") return OpKind::Add;
+  if (s == "sub") return OpKind::Sub;
+  if (s == "mul") return OpKind::Mul;
+  if (s == "neg") return OpKind::Neg;
+  if (s == "shl") return OpKind::Shl;
+  if (s == "lts") return OpKind::LtS;
+  if (s == "ltu") return OpKind::LtU;
+  if (s == "eq") return OpKind::Eq;
+  if (s == "ext") return OpKind::Extension;
+  throw std::invalid_argument("line " + std::to_string(line) +
+                              ": unknown operator kind '" + s + "'");
+}
+
+std::string kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::Add:
+      return "add";
+    case OpKind::Sub:
+      return "sub";
+    case OpKind::Mul:
+      return "mul";
+    case OpKind::Neg:
+      return "neg";
+    case OpKind::Shl:
+      return "shl";
+    case OpKind::LtS:
+      return "lts";
+    case OpKind::LtU:
+      return "ltu";
+    case OpKind::Eq:
+      return "eq";
+    case OpKind::Extension:
+      return "ext";
+    default:
+      return "?";
+  }
+}
+
+Sign sign_from(const std::string& s, int line) {
+  if (s == "signed" || s == "s" || s == "1") return Sign::Signed;
+  if (s == "unsigned" || s == "u" || s == "0") return Sign::Unsigned;
+  throw std::invalid_argument("line " + std::to_string(line) +
+                              ": bad signedness '" + s + "'");
+}
+
+}  // namespace
+
+std::string to_text(const Graph& g) {
+  std::ostringstream os;
+  os << "dfg v1\n";
+  for (const Node& n : g.nodes()) {
+    switch (n.kind) {
+      case OpKind::Input:
+        os << "input " << node_ref(g, n.id) << " " << n.width << " "
+           << to_string(n.ext_sign) << "\n";
+        break;
+      case OpKind::Const:
+        os << "const " << node_ref(g, n.id) << " " << n.width << " 0b"
+           << n.value.to_string() << "\n";
+        break;
+      case OpKind::Output:
+        os << "output " << node_ref(g, n.id) << " " << n.width << "\n";
+        break;
+      case OpKind::Shl:
+        os << "node " << node_ref(g, n.id) << " shl " << n.width << " "
+           << n.shift << "\n";
+        break;
+      case OpKind::Extension:
+        os << "node " << node_ref(g, n.id) << " ext " << n.width << " "
+           << to_string(n.ext_sign) << "\n";
+        break;
+      default:
+        os << "node " << node_ref(g, n.id) << " " << kind_name(n.kind) << " "
+           << n.width << "\n";
+        break;
+    }
+  }
+  for (const Edge& e : g.edges()) {
+    os << "edge " << node_ref(g, e.src) << " " << node_ref(g, e.dst) << " "
+       << e.dst_port << " " << e.width << " " << to_string(e.sign) << "\n";
+  }
+  return os.str();
+}
+
+Graph parse_graph(const std::string& text) {
+  Graph g;
+  std::map<std::string, NodeId> byname;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  bool header_seen = false;
+
+  auto fail = [&lineno](const std::string& msg) -> void {
+    throw std::invalid_argument("line " + std::to_string(lineno) + ": " + msg);
+  };
+  auto lookup = [&](const std::string& name) {
+    const auto it = byname.find(name);
+    if (it == byname.end()) fail("unknown node '" + name + "'");
+    return it->second;
+  };
+  auto define = [&](const std::string& name, NodeId id) {
+    if (!byname.emplace(name, id).second) fail("duplicate node '" + name + "'");
+  };
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::vector<std::string> tok;
+    for (std::string t; ls >> t;) tok.push_back(t);
+    if (tok.empty()) continue;
+
+    if (!header_seen) {
+      if (tok.size() != 2 || tok[0] != "dfg" || tok[1] != "v1") {
+        fail("expected header 'dfg v1'");
+      }
+      header_seen = true;
+      continue;
+    }
+
+    const std::string& cmd = tok[0];
+    if (cmd == "input") {
+      if (tok.size() < 3 || tok.size() > 4) fail("input <name> <width> [sign]");
+      const int w = std::stoi(tok[2]);
+      if (w <= 0) fail("width must be positive");
+      const NodeId id = g.add_node(OpKind::Input, w, tok[1]);
+      g.set_node_ext_sign(id, tok.size() == 4 ? sign_from(tok[3], lineno)
+                                              : Sign::Signed);
+      define(tok[1], id);
+    } else if (cmd == "output") {
+      if (tok.size() != 3) fail("output <name> <width>");
+      const int w = std::stoi(tok[2]);
+      if (w <= 0) fail("width must be positive");
+      define(tok[1], g.add_node(OpKind::Output, w, tok[1]));
+    } else if (cmd == "const") {
+      if (tok.size() != 4) fail("const <name> <width> <value>");
+      const int w = std::stoi(tok[2]);
+      if (w <= 0) fail("width must be positive");
+      BitVector v;
+      if (tok[3].rfind("0b", 0) == 0) {
+        v = BitVector::from_string(tok[3].substr(2)).resize(w, Sign::Signed);
+      } else {
+        v = BitVector::from_int(w, std::stoll(tok[3]));
+      }
+      define(tok[1], g.add_const(v, tok[1]));
+    } else if (cmd == "node") {
+      if (tok.size() < 4) fail("node <name> <kind> <width> [arg]");
+      const OpKind k = kind_from(tok[2], lineno);
+      const int w = std::stoi(tok[3]);
+      if (w <= 0) fail("width must be positive");
+      const NodeId id = g.add_node(k, w, tok[1]);
+      if (k == OpKind::Shl) {
+        if (tok.size() != 5) fail("shl needs a shift amount");
+        const int s = std::stoi(tok[4]);
+        if (s < 0) fail("shift must be non-negative");
+        g.set_node_shift(id, s);
+      } else if (k == OpKind::Extension) {
+        if (tok.size() != 5) fail("ext needs a signedness");
+        g.set_node_ext_sign(id, sign_from(tok[4], lineno));
+      } else if (tok.size() != 4) {
+        fail("unexpected extra token");
+      }
+      define(tok[1], id);
+    } else if (cmd == "edge") {
+      if (tok.size() != 6) fail("edge <src> <dst> <port> <width> <sign>");
+      const NodeId src = lookup(tok[1]);
+      const NodeId dst = lookup(tok[2]);
+      const int port = std::stoi(tok[3]);
+      const int w = std::stoi(tok[4]);
+      if (w <= 0) fail("width must be positive");
+      const int want = operand_count(g.node(dst).kind);
+      if (port < 0 || port >= want) fail("port out of range");
+      if (static_cast<int>(g.node(dst).in.size()) > port &&
+          g.node(dst).in[static_cast<std::size_t>(port)].valid()) {
+        fail("port already connected");
+      }
+      g.add_edge(src, dst, port, w, sign_from(tok[5], lineno));
+    } else {
+      fail("unknown directive '" + cmd + "'");
+    }
+  }
+  if (!header_seen) {
+    lineno = 1;
+    fail("empty input");
+  }
+  const auto errs = g.validate();
+  if (!errs.empty()) {
+    throw std::invalid_argument("graph invalid after parse: " + errs.front());
+  }
+  return g;
+}
+
+}  // namespace dpmerge::dfg

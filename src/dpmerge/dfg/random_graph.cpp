@@ -1,0 +1,91 @@
+#include "dpmerge/dfg/random_graph.h"
+
+#include <string>
+#include <vector>
+
+#include "dpmerge/dfg/builder.h"
+
+namespace dpmerge::dfg {
+
+Graph random_graph(Rng& rng, const RandomGraphOptions& opt) {
+  Graph g;
+  std::vector<NodeId> pool;  // candidate operand sources
+  for (int i = 0; i < opt.num_inputs; ++i) {
+    const int w = static_cast<int>(rng.uniform(opt.min_width, opt.max_width));
+    pool.push_back(g.add_node(OpKind::Input, w, "in" + std::to_string(i)));
+  }
+
+  auto pick_operand = [&](NodeId dst_hint) {
+    (void)dst_hint;
+    const NodeId src =
+        pool[static_cast<std::size_t>(rng.uniform(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    int w = g.node(src).width;
+    if (rng.chance(opt.resize_edge_fraction)) {
+      w = static_cast<int>(rng.uniform(opt.min_width, opt.max_width));
+    }
+    const Sign s =
+        rng.chance(opt.signed_edge_fraction) ? Sign::Signed : Sign::Unsigned;
+    return Operand{src, w, s};
+  };
+
+  std::vector<NodeId> ops;
+  for (int i = 0; i < opt.num_operators; ++i) {
+    OpKind k = OpKind::Add;
+    const double roll =
+        static_cast<double>(rng.uniform(0, 9999)) / 10000.0;
+    double acc = opt.mul_fraction;
+    if (roll < acc) {
+      k = OpKind::Mul;
+    } else if (roll < (acc += opt.neg_fraction)) {
+      k = OpKind::Neg;
+    } else if (roll < (acc += opt.sub_fraction)) {
+      k = OpKind::Sub;
+    } else if (roll < (acc += opt.shl_fraction)) {
+      k = OpKind::Shl;
+    } else if (roll < (acc += opt.cmp_fraction)) {
+      const std::int64_t pick = rng.uniform(0, 2);
+      k = pick == 0 ? OpKind::LtS : pick == 1 ? OpKind::LtU : OpKind::Eq;
+    }
+    const int w = static_cast<int>(rng.uniform(opt.min_width, opt.max_width));
+    const NodeId id = g.add_node(k, w);
+    if (k == OpKind::Shl) {
+      g.set_node_shift(id, static_cast<int>(rng.uniform(0, std::min(w, 6))));
+    }
+    const int arity = operand_count(k);
+    for (int p = 0; p < arity; ++p) {
+      const Operand o = pick_operand(id);
+      g.add_edge(o.node, id, p, o.width, o.sign);
+    }
+    pool.push_back(id);
+    ops.push_back(id);
+  }
+
+  // Give every sink (node without fanout) a primary output, so the graph is
+  // well-formed and required precision is defined everywhere.
+  int out_idx = 0;
+  for (NodeId id : ops) {
+    if (!g.node(id).out.empty()) continue;
+    const int ow = static_cast<int>(rng.uniform(opt.min_width, opt.max_width));
+    const NodeId o =
+        g.add_node(OpKind::Output, ow, "out" + std::to_string(out_idx++));
+    const Sign s =
+        rng.chance(opt.signed_edge_fraction) ? Sign::Signed : Sign::Unsigned;
+    int ew = g.node(id).width;
+    if (rng.chance(opt.resize_edge_fraction)) {
+      ew = static_cast<int>(rng.uniform(opt.min_width, opt.max_width));
+    }
+    g.add_edge(id, o, 0, ew, s);
+  }
+  // Unused inputs also get an observer output so the graph stays connected
+  // in spirit (analyses do not require it, but validation is simpler).
+  for (NodeId id : g.inputs()) {
+    if (!g.node(id).out.empty()) continue;
+    const NodeId o =
+        g.add_node(OpKind::Output, g.node(id).width,
+                   "obs" + std::to_string(out_idx++));
+    g.add_edge(id, o, 0, 0, Sign::Unsigned);
+  }
+  return g;
+}
+
+}  // namespace dpmerge::dfg

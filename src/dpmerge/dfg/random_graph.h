@@ -1,0 +1,31 @@
+#pragma once
+
+#include "dpmerge/dfg/graph.h"
+#include "dpmerge/support/rng.h"
+
+namespace dpmerge::dfg {
+
+/// Knobs for the random-DFG generator used by the property-test sweeps and
+/// the scaling benchmarks.
+struct RandomGraphOptions {
+  int num_inputs = 4;
+  int num_operators = 12;
+  int min_width = 2;
+  int max_width = 16;
+  double mul_fraction = 0.2;   ///< Probability an operator is a multiply.
+  double neg_fraction = 0.1;   ///< Probability an operator is a unary minus.
+  double sub_fraction = 0.2;   ///< Probability an operator is a subtract.
+  double shl_fraction = 0.08;  ///< Probability an operator is a const shift.
+  double cmp_fraction = 0.06;  ///< Probability an operator is a comparator.
+  double signed_edge_fraction = 0.5;
+  /// Probability that an edge resizes (its width differs from the source
+  /// node's width), exercising the truncate/extend semantics.
+  double resize_edge_fraction = 0.5;
+};
+
+/// Generates a random connected DAG of datapath operators. Every operator
+/// node reaches at least one Output node (dangling results get outputs), so
+/// required precision is defined at every port.
+Graph random_graph(Rng& rng, const RandomGraphOptions& opt = {});
+
+}  // namespace dpmerge::dfg

@@ -1,0 +1,97 @@
+#include "dpmerge/formal/bdd.h"
+
+#include <algorithm>
+#include <climits>
+
+namespace dpmerge::formal {
+
+namespace {
+
+std::uint64_t key2(int var, std::int32_t lo, std::int32_t hi) {
+  // var < 2^20, refs < 2^22 each in practice; mix into one 64-bit key.
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(var)) << 44) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(lo)) << 22) ^
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(hi));
+}
+
+std::uint64_t key3(std::int32_t f, std::int32_t g, std::int32_t h) {
+  std::uint64_t k = static_cast<std::uint32_t>(f);
+  k = k * 0x9e3779b97f4a7c15ull + static_cast<std::uint32_t>(g);
+  k = k * 0x9e3779b97f4a7c15ull + static_cast<std::uint32_t>(h);
+  return k;
+}
+
+}  // namespace
+
+Bdd::Bdd(std::size_t max_nodes) : max_nodes_(max_nodes) {
+  nodes_.push_back(Node{INT_MAX, kFalse, kFalse});  // 0 = false terminal
+  nodes_.push_back(Node{INT_MAX, kTrue, kTrue});    // 1 = true terminal
+}
+
+Bdd::Ref Bdd::mk(int var, Ref lo, Ref hi) {
+  if (lo == hi) return lo;  // reduction rule
+  const auto k = key2(var, lo, hi);
+  const auto it = unique_.find(k);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= max_nodes_) throw BddLimitExceeded{};
+  const Ref r = static_cast<Ref>(nodes_.size());
+  nodes_.push_back(Node{var, lo, hi});
+  unique_.emplace(k, r);
+  return r;
+}
+
+Bdd::Ref Bdd::var(int v) { return mk(v, kFalse, kTrue); }
+
+Bdd::Ref Bdd::cofactor(Ref f, int v, bool positive) const {
+  const Node& n = nodes_[static_cast<std::size_t>(f)];
+  if (n.var != v) return f;  // f does not depend on v at the top
+  return positive ? n.hi : n.lo;
+}
+
+Bdd::Ref Bdd::ite(Ref f, Ref g, Ref h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const auto k = key3(f, g, h);
+  const auto it = ite_cache_.find(k);
+  if (it != ite_cache_.end()) return it->second;
+
+  const int v = std::min({var_of(f), var_of(g), var_of(h)});
+  const Ref hi = ite(cofactor(f, v, true), cofactor(g, v, true),
+                     cofactor(h, v, true));
+  const Ref lo = ite(cofactor(f, v, false), cofactor(g, v, false),
+                     cofactor(h, v, false));
+  const Ref r = mk(v, lo, hi);
+  ite_cache_.emplace(k, r);
+  return r;
+}
+
+bool Bdd::eval(Ref f, const std::vector<bool>& assignment) const {
+  while (f > kTrue) {
+    const Node& n = nodes_[static_cast<std::size_t>(f)];
+    const bool v = static_cast<std::size_t>(n.var) < assignment.size() &&
+                   assignment[static_cast<std::size_t>(n.var)];
+    f = v ? n.hi : n.lo;
+  }
+  return f == kTrue;
+}
+
+std::vector<std::pair<int, bool>> Bdd::any_sat(Ref f) const {
+  std::vector<std::pair<int, bool>> path;
+  while (f > kTrue) {
+    const Node& n = nodes_[static_cast<std::size_t>(f)];
+    if (n.hi != kFalse) {
+      path.emplace_back(n.var, true);
+      f = n.hi;
+    } else {
+      path.emplace_back(n.var, false);
+      f = n.lo;
+    }
+  }
+  return f == kTrue ? path : std::vector<std::pair<int, bool>>{};
+}
+
+}  // namespace dpmerge::formal

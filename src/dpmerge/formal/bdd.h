@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace dpmerge::formal {
+
+/// Thrown when a BDD operation would exceed the manager's node budget —
+/// equivalence checks report "too large" instead of thrashing.
+struct BddLimitExceeded : std::runtime_error {
+  BddLimitExceeded() : std::runtime_error("BDD node limit exceeded") {}
+};
+
+/// A small reduced-ordered-BDD manager: hash-consed nodes, ITE with a
+/// computed table, fixed variable order (the variable index *is* the
+/// order). Enough for combinational equivalence checking of datapath
+/// netlists; callers pick a datapath-friendly (bit-interleaved) variable
+/// assignment.
+class Bdd {
+ public:
+  using Ref = std::int32_t;
+  static constexpr Ref kFalse = 0;
+  static constexpr Ref kTrue = 1;
+
+  explicit Bdd(std::size_t max_nodes = 4u << 20);
+
+  /// The function of variable `v` (projection).
+  Ref var(int v);
+
+  Ref bdd_not(Ref f) { return ite(f, kFalse, kTrue); }
+  Ref bdd_and(Ref f, Ref g) { return ite(f, g, kFalse); }
+  Ref bdd_or(Ref f, Ref g) { return ite(f, kTrue, g); }
+  Ref bdd_xor(Ref f, Ref g) { return ite(f, bdd_not(g), g); }
+  Ref bdd_xnor(Ref f, Ref g) { return ite(f, g, bdd_not(g)); }
+
+  /// If-then-else: the universal connective; canonical by construction, so
+  /// two functions are equal iff their Refs are equal.
+  Ref ite(Ref f, Ref g, Ref h);
+
+  bool is_const(Ref f) const { return f <= kTrue; }
+
+  /// Evaluates under a variable assignment (missing variables read false).
+  bool eval(Ref f, const std::vector<bool>& assignment) const;
+
+  /// Any satisfying assignment of f (f != kFalse); pairs of (var, value).
+  std::vector<std::pair<int, bool>> any_sat(Ref f) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int var;
+    Ref lo;
+    Ref hi;
+  };
+
+  Ref mk(int var, Ref lo, Ref hi);
+  int var_of(Ref f) const { return nodes_[static_cast<std::size_t>(f)].var; }
+  Ref cofactor(Ref f, int v, bool positive) const;
+
+  std::size_t max_nodes_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, Ref> unique_;
+  std::unordered_map<std::uint64_t, Ref> ite_cache_;
+};
+
+}  // namespace dpmerge::formal

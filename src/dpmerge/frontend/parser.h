@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+
+#include "dpmerge/dfg/graph.h"
+
+namespace dpmerge::frontend {
+
+/// A miniature RTL-expression language that compiles to DFGs — the form the
+/// paper's datapath testcases originally take. One statement per line, `#`
+/// comments:
+///
+///   design fir                      # optional name
+///   input  x0 : s8                  # signed 8-bit input
+///   input  k  : u4                  # unsigned 4-bit input
+///   let    t  = 3 * x0 + (k << 2)   # intermediate, width inferred
+///   let    u : s10 = t - x0         # intermediate with declared width
+///   output y  : s16 = u + t         # outputs must declare their width
+///   output f  : u1  = t < u         # comparisons give unsigned 1-bit
+///
+/// Expression grammar (loosest to tightest):
+///   cmp    := addsub (('<' | '==') addsub)?
+///   addsub := muldiv (('+' | '-') muldiv)*
+///   muldiv := shift ('*' shift)*
+///   shift  := unary ('<<' INT)*
+///   unary  := '-' unary | primary
+///   primary:= IDENT | INT | '(' cmp ')'
+///
+/// Width/sign inference (Verilog-in-spirit, lossless by construction):
+///   +,-      -> max(w1, w2) + 1; signed if either side is, or op is '-'
+///   *        -> w1 + w2; signed if either side is
+///   unary -  -> w + 1, signed
+///   << k     -> w + k, same sign
+///   <, ==    -> u1 (operands compared at a common lossless width;
+///               a mixed-sign compare widens the unsigned side)
+///   literal  -> minimal width; negative literals are signed
+/// A declared width on `let`/`output` resizes the expression result
+/// (truncating or extending per the expression's signedness) — this is how
+/// the truncate-then-extend patterns the paper studies are written.
+struct CompileResult {
+  std::string name;
+  dfg::Graph graph;
+};
+
+/// Throws std::invalid_argument with a line/column message on errors
+/// (syntax, unknown or duplicate identifiers, zero widths, shift by
+/// negative amounts).
+CompileResult compile(const std::string& source);
+
+}  // namespace dpmerge::frontend

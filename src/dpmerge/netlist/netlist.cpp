@@ -1,0 +1,224 @@
+#include "dpmerge/netlist/netlist.h"
+
+#include <cassert>
+
+namespace dpmerge::netlist {
+
+Netlist::Netlist() {
+  new_net();  // net 0: constant 0
+  new_net();  // net 1: constant 1
+}
+
+NetId Netlist::new_net() {
+  driver_of_.push_back(-1);
+  return NetId{net_count_++};
+}
+
+NetId Netlist::add_gate(CellType t, std::vector<NetId> inputs) {
+  const NetId out = new_net();
+  add_gate_driving(t, std::move(inputs), out);
+  return out;
+}
+
+GateId Netlist::add_gate_driving(CellType t, std::vector<NetId> inputs,
+                                 NetId out) {
+  assert(static_cast<int>(inputs.size()) == cell_input_count(t));
+  Gate g;
+  g.id = GateId{static_cast<int>(gates_.size())};
+  g.type = t;
+  g.inputs = std::move(inputs);
+  g.output = out;
+  assert(driver_of_[static_cast<std::size_t>(out.value)] == -1 &&
+         "net already driven");
+  driver_of_[static_cast<std::size_t>(out.value)] = g.id.value;
+  gates_.push_back(std::move(g));
+  return gates_.back().id;
+}
+
+NetId Netlist::inv(NetId a) {
+  if (a == const0()) return const1();
+  if (a == const1()) return const0();
+  return add_gate(CellType::INV, {a});
+}
+
+NetId Netlist::buf(NetId a) {
+  if (is_const(a)) return a;
+  return add_gate(CellType::BUF, {a});
+}
+
+NetId Netlist::and2(NetId a, NetId b) {
+  if (a == const0() || b == const0()) return const0();
+  if (a == const1()) return b;
+  if (b == const1()) return a;
+  if (a == b) return a;
+  return add_gate(CellType::AND2, {a, b});
+}
+
+NetId Netlist::or2(NetId a, NetId b) {
+  if (a == const1() || b == const1()) return const1();
+  if (a == const0()) return b;
+  if (b == const0()) return a;
+  if (a == b) return a;
+  return add_gate(CellType::OR2, {a, b});
+}
+
+NetId Netlist::nand2(NetId a, NetId b) {
+  if (a == const0() || b == const0()) return const1();
+  if (a == const1()) return inv(b);
+  if (b == const1()) return inv(a);
+  return add_gate(CellType::NAND2, {a, b});
+}
+
+NetId Netlist::nor2(NetId a, NetId b) {
+  if (a == const1() || b == const1()) return const0();
+  if (a == const0()) return inv(b);
+  if (b == const0()) return inv(a);
+  return add_gate(CellType::NOR2, {a, b});
+}
+
+NetId Netlist::xor2(NetId a, NetId b) {
+  if (a == const0()) return b;
+  if (b == const0()) return a;
+  if (a == const1()) return inv(b);
+  if (b == const1()) return inv(a);
+  if (a == b) return const0();
+  return add_gate(CellType::XOR2, {a, b});
+}
+
+NetId Netlist::xnor2(NetId a, NetId b) {
+  if (a == const0()) return inv(b);
+  if (b == const0()) return inv(a);
+  if (a == const1()) return b;
+  if (b == const1()) return a;
+  if (a == b) return const1();
+  return add_gate(CellType::XNOR2, {a, b});
+}
+
+NetId Netlist::mux2(NetId d0, NetId d1, NetId sel) {
+  if (sel == const0()) return d0;
+  if (sel == const1()) return d1;
+  if (d0 == d1) return d0;
+  if (d0 == const0() && d1 == const1()) return sel;
+  return add_gate(CellType::MUX2, {d0, d1, sel});
+}
+
+std::pair<NetId, NetId> Netlist::full_adder(NetId a, NetId b, NetId c) {
+  const NetId ab = xor2(a, b);
+  const NetId sum = xor2(ab, c);
+  const NetId carry = or2(and2(a, b), and2(ab, c));
+  return {sum, carry};
+}
+
+std::pair<NetId, NetId> Netlist::half_adder(NetId a, NetId b) {
+  return {xor2(a, b), and2(a, b)};
+}
+
+Signal Netlist::constant_signal(const BitVector& v) {
+  Signal s;
+  s.bits.reserve(static_cast<std::size_t>(v.width()));
+  for (int i = 0; i < v.width(); ++i) {
+    s.bits.push_back(v.bit(i) ? const1() : const0());
+  }
+  return s;
+}
+
+Signal Netlist::resize(const Signal& s, int width, Sign sign) {
+  Signal r;
+  r.bits.reserve(static_cast<std::size_t>(width));
+  const NetId fill =
+      (sign == Sign::Signed && s.width() > 0) ? s.msb() : const0();
+  for (int i = 0; i < width; ++i) {
+    r.bits.push_back(i < s.width() ? s.bit(i) : fill);
+  }
+  return r;
+}
+
+Signal Netlist::invert(const Signal& s) {
+  Signal r;
+  r.bits.reserve(s.bits.size());
+  // Replicated fill nets (from sign extension) get one shared inverter.
+  NetId last_in{-1}, last_out{-1};
+  for (NetId n : s.bits) {
+    if (n == last_in) {
+      r.bits.push_back(last_out);
+      continue;
+    }
+    last_in = n;
+    last_out = inv(n);
+    r.bits.push_back(last_out);
+  }
+  return r;
+}
+
+void Netlist::add_input(const std::string& name, const Signal& s) {
+  inputs_.push_back(Bus{name, s});
+}
+
+void Netlist::add_output(const std::string& name, const Signal& s) {
+  outputs_.push_back(Bus{name, s});
+}
+
+const Gate* Netlist::driver(NetId n) const {
+  const int g = driver_of_[static_cast<std::size_t>(n.value)];
+  return g < 0 ? nullptr : &gates_[static_cast<std::size_t>(g)];
+}
+
+std::vector<GateId> Netlist::topo_gates() const {
+  std::vector<int> pending(gates_.size(), 0);
+  // fanout_gates[net] -> gates reading it.
+  std::vector<std::vector<int>> readers(static_cast<std::size_t>(net_count_));
+  std::vector<GateId> order;
+  order.reserve(gates_.size());
+  std::vector<int> ready;
+  for (const Gate& g : gates_) {
+    int cnt = 0;
+    for (NetId in : g.inputs) {
+      if (driver_of_[static_cast<std::size_t>(in.value)] >= 0) {
+        ++cnt;
+        readers[static_cast<std::size_t>(in.value)].push_back(g.id.value);
+      }
+    }
+    pending[static_cast<std::size_t>(g.id.value)] = cnt;
+    if (cnt == 0) ready.push_back(g.id.value);
+  }
+  while (!ready.empty()) {
+    const int gi = ready.back();
+    ready.pop_back();
+    order.push_back(GateId{gi});
+    const NetId out = gates_[static_cast<std::size_t>(gi)].output;
+    for (int r : readers[static_cast<std::size_t>(out.value)]) {
+      if (--pending[static_cast<std::size_t>(r)] == 0) ready.push_back(r);
+    }
+  }
+  assert(order.size() == gates_.size() && "combinational cycle");
+  return order;
+}
+
+std::vector<std::string> Netlist::validate() const {
+  std::vector<std::string> errs;
+  std::vector<bool> has_pi(static_cast<std::size_t>(net_count_), false);
+  has_pi[0] = has_pi[1] = true;  // constants
+  for (const Bus& b : inputs_) {
+    for (NetId n : b.signal.bits) {
+      has_pi[static_cast<std::size_t>(n.value)] = true;
+    }
+  }
+  for (const Gate& g : gates_) {
+    for (NetId in : g.inputs) {
+      if (driver_of_[static_cast<std::size_t>(in.value)] < 0 &&
+          !has_pi[static_cast<std::size_t>(in.value)]) {
+        errs.push_back("gate " + std::to_string(g.id.value) +
+                       ": floating input net " + std::to_string(in.value));
+      }
+    }
+    if (g.output.value <= 1) {
+      errs.push_back("gate drives a constant net");
+    }
+  }
+  if (topo_gates().size() != gates_.size()) {
+    errs.push_back("combinational cycle");
+  }
+  return errs;
+}
+
+}  // namespace dpmerge::netlist

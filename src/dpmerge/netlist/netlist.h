@@ -1,0 +1,118 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dpmerge/netlist/cell.h"
+#include "dpmerge/support/bitvector.h"
+#include "dpmerge/support/sign.h"
+
+namespace dpmerge::netlist {
+
+struct NetId {
+  int value = -1;
+  bool valid() const { return value >= 0; }
+  auto operator<=>(const NetId&) const = default;
+};
+
+struct GateId {
+  int value = -1;
+  auto operator<=>(const GateId&) const = default;
+};
+
+struct Gate {
+  GateId id;
+  CellType type = CellType::INV;
+  int drive = 0;  ///< drive-strength variant index (0 = X1)
+  std::vector<NetId> inputs;
+  NetId output;
+};
+
+/// A multi-bit signal: nets in LSB-first order. Mirrors BitVector semantics
+/// (resize = truncate or replicate the top net / tie to 0).
+struct Signal {
+  std::vector<NetId> bits;
+  int width() const { return static_cast<int>(bits.size()); }
+  NetId bit(int i) const { return bits[static_cast<std::size_t>(i)]; }
+  NetId msb() const { return bits.back(); }
+};
+
+struct Bus {
+  std::string name;
+  Signal signal;
+};
+
+/// Structural gate-level netlist over the cell library, with two designated
+/// constant nets (undriven; simulation and timing treat them as stable 0/1
+/// with arrival time 0).
+///
+/// Gate construction helpers return the freshly driven output net. The
+/// constant-folding helpers (`and2`, `or2`, ...) peephole away gates whose
+/// inputs are the constant nets — width adaptation and masked partial
+/// products generate many of those.
+class Netlist {
+ public:
+  Netlist();
+
+  NetId new_net();
+  NetId const0() const { return NetId{0}; }
+  NetId const1() const { return NetId{1}; }
+  bool is_const(NetId n) const { return n.value <= 1; }
+
+  /// Raw gate creation (no folding).
+  NetId add_gate(CellType t, std::vector<NetId> inputs);
+  /// Re-drives an existing net with a gate (used by buffering transforms).
+  GateId add_gate_driving(CellType t, std::vector<NetId> inputs, NetId out);
+
+  // Folding helpers.
+  NetId inv(NetId a);
+  NetId buf(NetId a);
+  NetId and2(NetId a, NetId b);
+  NetId or2(NetId a, NetId b);
+  NetId nand2(NetId a, NetId b);
+  NetId nor2(NetId a, NetId b);
+  NetId xor2(NetId a, NetId b);
+  NetId xnor2(NetId a, NetId b);
+  NetId mux2(NetId d0, NetId d1, NetId sel);
+
+  /// Full adder from primitive gates: returns {sum, carry}.
+  std::pair<NetId, NetId> full_adder(NetId a, NetId b, NetId c);
+  /// Half adder: returns {sum, carry}.
+  std::pair<NetId, NetId> half_adder(NetId a, NetId b);
+
+  /// Signal-level helpers.
+  Signal constant_signal(const BitVector& v);
+  Signal resize(const Signal& s, int width, Sign sign);
+  Signal invert(const Signal& s);
+
+  // Primary interface buses.
+  void add_input(const std::string& name, const Signal& s);
+  void add_output(const std::string& name, const Signal& s);
+  const std::vector<Bus>& inputs() const { return inputs_; }
+  const std::vector<Bus>& outputs() const { return outputs_; }
+
+  const std::vector<Gate>& gates() const { return gates_; }
+  std::vector<Gate>& mutable_gates() { return gates_; }
+  int gate_count() const { return static_cast<int>(gates_.size()); }
+  int net_count() const { return net_count_; }
+
+  /// Driver gate of a net, or nullptr for primary inputs / constants.
+  const Gate* driver(NetId n) const;
+
+  /// Gates in topological order (inputs first). Recomputed on demand —
+  /// optimisation passes may insert gates out of order.
+  std::vector<GateId> topo_gates() const;
+
+  /// Structural checks: single driver per net, no combinational cycles, all
+  /// gate inputs driven or primary/constant.
+  std::vector<std::string> validate() const;
+
+ private:
+  int net_count_ = 0;
+  std::vector<Gate> gates_;
+  std::vector<int> driver_of_;  // net -> gate index, -1 if none
+  std::vector<Bus> inputs_;
+  std::vector<Bus> outputs_;
+};
+
+}  // namespace dpmerge::netlist

@@ -1,0 +1,51 @@
+#include "dpmerge/netlist/sim.h"
+
+#include <stdexcept>
+
+namespace dpmerge::netlist {
+
+Simulator::Simulator(const Netlist& n) : net_(n), order_(n.topo_gates()) {}
+
+std::map<std::string, BitVector> Simulator::run(
+    const std::map<std::string, BitVector>& by_name) const {
+  std::vector<bool> value(static_cast<std::size_t>(net_.net_count()), false);
+  value[1] = true;  // const1
+
+  for (const Bus& b : net_.inputs()) {
+    const auto it = by_name.find(b.name);
+    if (it == by_name.end()) {
+      throw std::invalid_argument("missing stimulus for input '" + b.name +
+                                  "'");
+    }
+    if (it->second.width() != b.signal.width()) {
+      throw std::invalid_argument("stimulus width mismatch for '" + b.name +
+                                  "'");
+    }
+    for (int i = 0; i < b.signal.width(); ++i) {
+      value[static_cast<std::size_t>(b.signal.bit(i).value)] =
+          it->second.bit(i);
+    }
+  }
+
+  std::vector<bool> ins;
+  for (GateId gid : order_) {
+    const Gate& g = net_.gates()[static_cast<std::size_t>(gid.value)];
+    ins.clear();
+    for (NetId in : g.inputs) {
+      ins.push_back(value[static_cast<std::size_t>(in.value)]);
+    }
+    value[static_cast<std::size_t>(g.output.value)] = eval_cell(g.type, ins);
+  }
+
+  std::map<std::string, BitVector> out;
+  for (const Bus& b : net_.outputs()) {
+    BitVector v(b.signal.width());
+    for (int i = 0; i < b.signal.width(); ++i) {
+      v.set_bit(i, value[static_cast<std::size_t>(b.signal.bit(i).value)]);
+    }
+    out[b.name] = v;
+  }
+  return out;
+}
+
+}  // namespace dpmerge::netlist

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dpmerge/netlist/netlist.h"
+
+namespace dpmerge::netlist {
+
+/// Cycle-free functional simulation of a netlist: evaluates every gate once
+/// in topological order. Used by the synthesis equivalence tests (netlist vs
+/// DFG interpreter on the same stimuli).
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& n);
+
+  /// `by_name[input bus name]` supplies each input bus value (width must
+  /// match). Returns each output bus value keyed by name.
+  std::map<std::string, BitVector> run(
+      const std::map<std::string, BitVector>& by_name) const;
+
+ private:
+  const Netlist& net_;
+  std::vector<GateId> order_;
+};
+
+}  // namespace dpmerge::netlist

@@ -1,0 +1,83 @@
+#include "dpmerge/netlist/sta.h"
+
+#include <algorithm>
+
+namespace dpmerge::netlist {
+
+double Sta::load_on(const Netlist& n, NetId net) const {
+  double load = 0.0;
+  for (const Gate& g : n.gates()) {
+    for (NetId in : g.inputs) {
+      if (in == net) {
+        load += lib_.variant(g.type, g.drive).input_cap;
+      }
+    }
+  }
+  return load;
+}
+
+TimingReport Sta::analyze(const Netlist& n) const {
+  TimingReport rep;
+  rep.arrival.assign(static_cast<std::size_t>(n.net_count()), 0.0);
+  std::vector<NetId> from(static_cast<std::size_t>(n.net_count()), NetId{});
+
+  // Precompute per-net load in one pass (load_on is O(gates) and would make
+  // this quadratic).
+  std::vector<double> load(static_cast<std::size_t>(n.net_count()), 0.0);
+  for (const Gate& g : n.gates()) {
+    for (NetId in : g.inputs) {
+      load[static_cast<std::size_t>(in.value)] +=
+          lib_.variant(g.type, g.drive).input_cap;
+    }
+  }
+
+  for (GateId gid : n.topo_gates()) {
+    const Gate& g = n.gates()[static_cast<std::size_t>(gid.value)];
+    const CellVariant& v = lib_.variant(g.type, g.drive);
+    const double d =
+        v.intrinsic_ns +
+        v.drive_res_ns * load[static_cast<std::size_t>(g.output.value)];
+    double worst = 0.0;
+    NetId worst_in{};
+    for (NetId in : g.inputs) {
+      const double a = rep.arrival[static_cast<std::size_t>(in.value)];
+      if (a >= worst) {
+        worst = a;
+        worst_in = in;
+      }
+    }
+    rep.arrival[static_cast<std::size_t>(g.output.value)] = worst + d;
+    from[static_cast<std::size_t>(g.output.value)] = worst_in;
+  }
+
+  NetId worst_net{};
+  for (const Bus& b : n.outputs()) {
+    for (NetId bit : b.signal.bits) {
+      const double a = rep.arrival[static_cast<std::size_t>(bit.value)];
+      if (a > rep.longest_path_ns) {
+        rep.longest_path_ns = a;
+        worst_net = bit;
+      }
+    }
+  }
+
+  // Trace the critical path back to its source.
+  std::vector<NetId> path;
+  for (NetId cur = worst_net; cur.valid(); cur = from[static_cast<std::size_t>(cur.value)]) {
+    path.push_back(cur);
+    if (!n.driver(cur)) break;
+  }
+  std::reverse(path.begin(), path.end());
+  rep.critical_path = std::move(path);
+  return rep;
+}
+
+double Sta::area(const Netlist& n) const {
+  double a = 0.0;
+  for (const Gate& g : n.gates()) {
+    a += lib_.variant(g.type, g.drive).area;
+  }
+  return a;
+}
+
+}  // namespace dpmerge::netlist

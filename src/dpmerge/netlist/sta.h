@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dpmerge/netlist/netlist.h"
+
+namespace dpmerge::netlist {
+
+/// Static timing analysis over the linear delay model (cell intrinsic +
+/// drive resistance x capacitive load) and the area report. Primary inputs
+/// arrive at t = 0, matching the paper's experimental setup ("we set the
+/// arrival times at all inputs in each testcase to 0").
+struct TimingReport {
+  double longest_path_ns = 0.0;
+  /// Arrival time per net id.
+  std::vector<double> arrival;
+  /// Net ids of the critical path, from a primary input to the latest
+  /// output, in order.
+  std::vector<NetId> critical_path;
+};
+
+class Sta {
+ public:
+  explicit Sta(const CellLibrary& lib) : lib_(lib) {}
+
+  TimingReport analyze(const Netlist& n) const;
+
+  /// Capacitive load on a gate's output net: sum of reader-pin input caps.
+  double load_on(const Netlist& n, NetId net) const;
+
+  /// Total cell area.
+  double area(const Netlist& n) const;
+
+  /// Area in the paper's reporting convention (scaled down by 100).
+  double area_scaled(const Netlist& n) const { return area(n) / 100.0; }
+
+ private:
+  const CellLibrary& lib_;
+};
+
+}  // namespace dpmerge::netlist

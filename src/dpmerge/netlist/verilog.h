@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+#include "dpmerge/netlist/netlist.h"
+
+namespace dpmerge::netlist {
+
+/// Writes a synthesised netlist as structural Verilog over the cell library
+/// (INVX1, NAND2X2, ... instances), the interchange format downstream tools
+/// expect from a datapath synthesis pass. Bus ports use the DFG input/output
+/// names; internal nets are n<k>; constants come from one TIELO/TIEHI pair
+/// of assigns.
+std::string to_verilog(const Netlist& n, const std::string& module_name);
+
+}  // namespace dpmerge::netlist

@@ -1,0 +1,165 @@
+#include "dpmerge/opt/timing_opt.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <sstream>
+
+namespace dpmerge::opt {
+
+using netlist::CellVariant;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::Sta;
+
+std::string TimingOptResult::to_string() const {
+  std::ostringstream os;
+  os << "delay " << initial_ns << " -> " << final_ns << " ns, area "
+     << initial_area << " -> " << final_area << ", " << moves << " moves, "
+     << runtime_sec << " s" << (met_target ? " (target met)" : "");
+  return os.str();
+}
+
+TimingOptResult TimingOptimizer::optimize(Netlist& net,
+                                          const TimingOptOptions& opt) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  Sta sta(lib_);
+  TimingOptResult res;
+
+  auto rep = sta.analyze(net);
+  res.initial_ns = rep.longest_path_ns;
+  res.initial_area = sta.area_scaled(net);
+
+  std::set<int> locked_upsize;   // gate ids where upsizing didn't help
+  std::set<int> locked_buffer;   // nets already buffer-split
+
+  while (rep.longest_path_ns > opt.target_ns && res.moves < opt.max_moves) {
+    // Candidate 1: upsize the critical-path driver with the largest
+    // estimated gain (resistance drop times output load).
+    GateId best_gate{-1};
+    double best_gain = 0.0;
+    for (NetId pn : rep.critical_path) {
+      const Gate* d = net.driver(pn);
+      if (!d || d->drive + 1 >= netlist::kDriveLevels) continue;
+      if (locked_upsize.count(d->id.value)) continue;
+      const CellVariant& cur = lib_.variant(d->type, d->drive);
+      const CellVariant& up = lib_.variant(d->type, d->drive + 1);
+      const double gain =
+          (cur.drive_res_ns - up.drive_res_ns) * sta.load_on(net, pn);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_gate = d->id;
+      }
+    }
+
+    bool applied = false;
+    if (best_gate.value >= 0) {
+      Gate& g = net.mutable_gates()[static_cast<std::size_t>(best_gate.value)];
+      ++g.drive;
+      const auto after = sta.analyze(net);
+      if (after.longest_path_ns < rep.longest_path_ns - 1e-9) {
+        rep = after;
+        ++res.moves;
+        applied = true;
+      } else {
+        --g.drive;  // revert: the larger input cap hurt upstream more
+        locked_upsize.insert(best_gate.value);
+      }
+    }
+
+    if (!applied) {
+      // Candidate 2: split the fanout of the most heavily loaded critical
+      // net, keeping the critical successor directly connected and moving
+      // the other readers behind a buffer.
+      NetId worst{-1};
+      double worst_load = opt.buffer_load_threshold;
+      for (NetId pn : rep.critical_path) {
+        if (locked_buffer.count(pn.value) || net.is_const(pn)) continue;
+        const double l = sta.load_on(net, pn);
+        if (l > worst_load) {
+          worst_load = l;
+          worst = pn;
+        }
+      }
+      if (worst.value >= 0) {
+        locked_buffer.insert(worst.value);
+        // The critical successor is the gate driving the next net on the
+        // path after `worst`.
+        int keep_gate = -1;
+        for (std::size_t i = 0; i + 1 < rep.critical_path.size(); ++i) {
+          if (rep.critical_path[i] == worst) {
+            const Gate* nxt = net.driver(rep.critical_path[i + 1]);
+            if (nxt) keep_gate = nxt->id.value;
+          }
+        }
+        const NetId buffered = net.buf(worst);
+        int rewired = 0;
+        for (Gate& g : net.mutable_gates()) {
+          if (g.id.value == keep_gate) continue;
+          if (g.output == buffered) continue;  // the buffer itself
+          for (NetId& in : g.inputs) {
+            if (in == worst) {
+              in = buffered;
+              ++rewired;
+            }
+          }
+        }
+        const auto after = sta.analyze(net);
+        if (rewired > 0 && after.longest_path_ns < rep.longest_path_ns - 1e-9) {
+          rep = after;
+          ++res.moves;
+          applied = true;
+        } else {
+          // Keep the (harmless) buffer but restore critical wiring by
+          // accepting whichever timing resulted; mark and move on.
+          rep = after;
+        }
+      }
+    }
+
+    if (!applied && best_gate.value < 0) break;  // no candidates left
+    if (!applied) {
+      // Both move kinds exhausted without improvement this round; stop when
+      // every upsize is locked and no bufferable net remains.
+      bool any_left = false;
+      for (NetId pn : rep.critical_path) {
+        const Gate* d = net.driver(pn);
+        if (d && d->drive + 1 < netlist::kDriveLevels &&
+            !locked_upsize.count(d->id.value)) {
+          any_left = true;
+        }
+      }
+      if (!any_left) break;
+    }
+  }
+
+  // Area recovery: once the target is met, try to give back the sizing on
+  // cells that no longer need it.
+  if (opt.recover_area && rep.longest_path_ns <= opt.target_ns) {
+    for (Gate& g : net.mutable_gates()) {
+      while (g.drive > 0) {
+        --g.drive;
+        const auto after = sta.analyze(net);
+        if (after.longest_path_ns <= opt.target_ns) {
+          rep = after;
+          ++res.moves;
+        } else {
+          ++g.drive;
+          break;
+        }
+      }
+    }
+  }
+
+  res.final_ns = rep.longest_path_ns;
+  res.final_area = sta.area_scaled(net);
+  res.met_target = res.final_ns <= opt.target_ns;
+  res.runtime_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return res;
+}
+
+}  // namespace dpmerge::opt

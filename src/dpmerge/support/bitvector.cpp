@@ -1,0 +1,239 @@
+#include "dpmerge/support/bitvector.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dpmerge {
+
+namespace {
+constexpr int kWordBits = 64;
+
+int words_for(int width) { return (width + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+BitVector::BitVector(int width) : width_(width) {
+  assert(width >= 0);
+  words_.assign(words_for(width), 0);
+}
+
+BitVector BitVector::from_uint(int width, std::uint64_t v) {
+  BitVector r(width);
+  if (width > 0) {
+    r.words_[0] = v;
+    r.normalize();
+  }
+  return r;
+}
+
+BitVector BitVector::from_int(int width, std::int64_t v) {
+  BitVector r(width);
+  const std::uint64_t fill = v < 0 ? ~std::uint64_t{0} : 0;
+  for (auto& w : r.words_) w = fill;
+  if (width > 0) r.words_[0] = static_cast<std::uint64_t>(v);
+  r.normalize();
+  return r;
+}
+
+BitVector BitVector::from_string(std::string_view bits) {
+  BitVector r(static_cast<int>(bits.size()));
+  for (int i = 0; i < r.width_; ++i) {
+    const char c = bits[bits.size() - 1 - static_cast<std::size_t>(i)];
+    if (c != '0' && c != '1') throw std::invalid_argument("bad bit string");
+    r.set_bit(i, c == '1');
+  }
+  return r;
+}
+
+void BitVector::normalize() {
+  if (width_ == 0) return;
+  const int top_bits = width_ % kWordBits;
+  if (top_bits != 0) {
+    words_.back() &= (~std::uint64_t{0}) >> (kWordBits - top_bits);
+  }
+}
+
+bool BitVector::bit(int i) const {
+  assert(i >= 0 && i < width_);
+  return (words_[static_cast<std::size_t>(i / kWordBits)] >>
+          (i % kWordBits)) &
+         1u;
+}
+
+void BitVector::set_bit(int i, bool value) {
+  assert(i >= 0 && i < width_);
+  const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+  auto& w = words_[static_cast<std::size_t>(i / kWordBits)];
+  if (value) {
+    w |= mask;
+  } else {
+    w &= ~mask;
+  }
+}
+
+bool BitVector::is_zero() const {
+  for (auto w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+BitVector BitVector::truncate(int w) const {
+  assert(w >= 0 && w <= width_);
+  BitVector r(w);
+  for (int i = 0; i < r.num_words(); ++i) {
+    r.words_[static_cast<std::size_t>(i)] =
+        words_[static_cast<std::size_t>(i)];
+  }
+  r.normalize();
+  return r;
+}
+
+BitVector BitVector::extend(int w, Sign t) const {
+  assert(w >= width_);
+  BitVector r(w);
+  const bool fill = (t == Sign::Signed) && width_ > 0 && msb();
+  if (fill) {
+    for (auto& word : r.words_) word = ~std::uint64_t{0};
+  }
+  // Copy the original bits over the fill. The fill pattern within the last
+  // partially-used word must be patched bitwise.
+  const int full_words = width_ / kWordBits;
+  for (int i = 0; i < full_words; ++i) {
+    r.words_[static_cast<std::size_t>(i)] =
+        words_[static_cast<std::size_t>(i)];
+  }
+  for (int i = full_words * kWordBits; i < width_; ++i) {
+    r.set_bit(i, bit(i));
+  }
+  r.normalize();
+  return r;
+}
+
+BitVector BitVector::resize(int w, Sign t) const {
+  return w <= width_ ? truncate(w) : extend(w, t);
+}
+
+BitVector BitVector::add(const BitVector& rhs) const {
+  assert(width_ == rhs.width_);
+  BitVector r(width_);
+  std::uint64_t carry = 0;
+  for (int i = 0; i < num_words(); ++i) {
+    const std::uint64_t a = words_[static_cast<std::size_t>(i)];
+    const std::uint64_t b = rhs.words_[static_cast<std::size_t>(i)];
+    const std::uint64_t s = a + b;
+    const std::uint64_t s2 = s + carry;
+    r.words_[static_cast<std::size_t>(i)] = s2;
+    carry = (s < a) || (s2 < s) ? 1 : 0;
+  }
+  r.normalize();
+  return r;
+}
+
+BitVector BitVector::sub(const BitVector& rhs) const {
+  return add(rhs.negate());
+}
+
+BitVector BitVector::mul(const BitVector& rhs) const {
+  assert(width_ == rhs.width_);
+  BitVector r(width_);
+  const int n = num_words();
+  // Schoolbook multiplication on 64-bit words via 32-bit halves, keeping only
+  // the low `width_` bits of the product.
+  std::vector<std::uint64_t> acc(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t a = words_[static_cast<std::size_t>(i)];
+    if (a == 0) continue;
+    std::uint64_t carry = 0;
+    for (int j = 0; i + j < n; ++j) {
+      const std::uint64_t b = rhs.words_[static_cast<std::size_t>(j)];
+      // 64x64 -> 128 via __uint128_t (GCC/Clang).
+      const unsigned __int128 p =
+          static_cast<unsigned __int128>(a) * b +
+          acc[static_cast<std::size_t>(i + j)] + carry;
+      acc[static_cast<std::size_t>(i + j)] = static_cast<std::uint64_t>(p);
+      carry = static_cast<std::uint64_t>(p >> 64);
+    }
+  }
+  r.words_ = std::move(acc);
+  r.normalize();
+  return r;
+}
+
+BitVector BitVector::negate() const { return bit_not().add(from_uint(width_, width_ > 0 ? 1 : 0)); }
+
+BitVector BitVector::shl(int s) const {
+  assert(s >= 0);
+  BitVector r(width_);
+  for (int i = width_ - 1; i >= s; --i) r.set_bit(i, bit(i - s));
+  return r;
+}
+
+BitVector BitVector::bit_not() const {
+  BitVector r(width_);
+  for (int i = 0; i < num_words(); ++i) {
+    r.words_[static_cast<std::size_t>(i)] =
+        ~words_[static_cast<std::size_t>(i)];
+  }
+  r.normalize();
+  return r;
+}
+
+bool BitVector::operator==(const BitVector& rhs) const {
+  return width_ == rhs.width_ && words_ == rhs.words_;
+}
+
+std::uint64_t BitVector::to_uint64() const {
+  return words_.empty() ? 0 : words_[0];
+}
+
+std::int64_t BitVector::to_int64() const {
+  assert(width_ <= 64);
+  if (width_ == 0) return 0;
+  std::uint64_t v = words_[0];
+  if (width_ < 64 && msb()) {
+    v |= (~std::uint64_t{0}) << width_;
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+std::string BitVector::to_string() const {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(width_));
+  for (int i = width_ - 1; i >= 0; --i) s.push_back(bit(i) ? '1' : '0');
+  return s;
+}
+
+bool BitVector::is_extension_of_low(int i, Sign t) const {
+  assert(i >= 0 && i <= width_);
+  if (i == width_) return true;
+  const bool fill = (t == Sign::Signed) && i > 0 && bit(i - 1);
+  for (int k = i; k < width_; ++k) {
+    if (bit(k) != fill) return false;
+  }
+  return true;
+}
+
+int BitVector::min_extension_width(Sign t) const {
+  int i = width_;
+  while (i > 0 && is_extension_of_low(i - 1, t)) --i;
+  return i;
+}
+
+bool BitVector::unsigned_lt(const BitVector& rhs) const {
+  assert(width_ == rhs.width_);
+  for (int i = num_words() - 1; i >= 0; --i) {
+    const auto a = words_[static_cast<std::size_t>(i)];
+    const auto b = rhs.words_[static_cast<std::size_t>(i)];
+    if (a != b) return a < b;
+  }
+  return false;
+}
+
+bool BitVector::signed_lt(const BitVector& rhs) const {
+  assert(width_ == rhs.width_);
+  if (width_ == 0) return false;
+  if (msb() != rhs.msb()) return msb();  // negative < non-negative
+  return unsigned_lt(rhs);
+}
+
+}  // namespace dpmerge

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string_view>
+
+namespace dpmerge {
+
+/// Signedness of a width extension (Definition 2.1 of the paper).
+///
+/// An *unsigned* extension pads with 0 bits; a *signed* extension pads with
+/// copies of the most significant bit of the original signal. The paper also
+/// encodes these as the bits {0, 1}; `Sign::Unsigned` corresponds to 0 and
+/// `Sign::Signed` to 1.
+enum class Sign : unsigned char {
+  Unsigned = 0,
+  Signed = 1,
+};
+
+/// The paper's `t1 | t2` combination: signed if either operand is signed.
+constexpr Sign operator|(Sign a, Sign b) {
+  return (a == Sign::Signed || b == Sign::Signed) ? Sign::Signed
+                                                  : Sign::Unsigned;
+}
+
+constexpr std::string_view to_string(Sign s) {
+  return s == Sign::Signed ? "signed" : "unsigned";
+}
+
+}  // namespace dpmerge

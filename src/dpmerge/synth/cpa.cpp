@@ -1,0 +1,178 @@
+#include "dpmerge/synth/cpa.h"
+
+#include <cassert>
+
+namespace dpmerge::synth {
+
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::Signal;
+
+std::string_view to_string(AdderArch a) {
+  switch (a) {
+    case AdderArch::Ripple:
+      return "ripple";
+    case AdderArch::KoggeStone:
+      return "kogge-stone";
+    case AdderArch::BrentKung:
+      return "brent-kung";
+    case AdderArch::CarrySelect:
+      return "carry-select";
+  }
+  return "?";
+}
+
+Signal ripple_add(Netlist& n, const Signal& a, const Signal& b, NetId cin) {
+  assert(a.width() == b.width() && a.width() >= 1);
+  Signal s;
+  NetId carry = cin;
+  for (int i = 0; i < a.width(); ++i) {
+    auto [sum, cout] = n.full_adder(a.bit(i), b.bit(i), carry);
+    s.bits.push_back(sum);
+    carry = cout;  // the final carry out is discarded (mod 2^W)
+  }
+  return s;
+}
+
+Signal kogge_stone_add(Netlist& n, const Signal& a, const Signal& b,
+                       NetId cin) {
+  assert(a.width() == b.width() && a.width() >= 1);
+  const int w = a.width();
+  std::vector<NetId> p(static_cast<std::size_t>(w));
+  std::vector<NetId> g(static_cast<std::size_t>(w));
+  for (int i = 0; i < w; ++i) {
+    p[static_cast<std::size_t>(i)] = n.xor2(a.bit(i), b.bit(i));
+    g[static_cast<std::size_t>(i)] = n.and2(a.bit(i), b.bit(i));
+  }
+  // Fold the carry-in into bit 0's generate.
+  if (cin != n.const0()) {
+    g[0] = n.or2(g[0], n.and2(p[0], cin));
+  }
+  // Parallel-prefix combine: after the sweep, g[i] is the carry out of
+  // position i.
+  for (int d = 1; d < w; d <<= 1) {
+    std::vector<NetId> gn = g, pn = p;
+    for (int i = d; i < w; ++i) {
+      gn[static_cast<std::size_t>(i)] =
+          n.or2(g[static_cast<std::size_t>(i)],
+                n.and2(p[static_cast<std::size_t>(i)],
+                       g[static_cast<std::size_t>(i - d)]));
+      pn[static_cast<std::size_t>(i)] =
+          n.and2(p[static_cast<std::size_t>(i)],
+                 p[static_cast<std::size_t>(i - d)]);
+    }
+    g = std::move(gn);
+    p = std::move(pn);
+  }
+  Signal s;
+  s.bits.push_back(cin == n.const0() ? n.xor2(a.bit(0), b.bit(0))
+                                     : n.xor2(n.xor2(a.bit(0), b.bit(0)), cin));
+  for (int i = 1; i < w; ++i) {
+    s.bits.push_back(n.xor2(n.xor2(a.bit(i), b.bit(i)),
+                            g[static_cast<std::size_t>(i - 1)]));
+  }
+  return s;
+}
+
+Signal brent_kung_add(Netlist& n, const Signal& a, const Signal& b,
+                      NetId cin) {
+  assert(a.width() == b.width() && a.width() >= 1);
+  const int w = a.width();
+  std::vector<NetId> p(static_cast<std::size_t>(w));
+  std::vector<NetId> g(static_cast<std::size_t>(w));
+  std::vector<NetId> p0(static_cast<std::size_t>(w));  // raw propagate
+  for (int i = 0; i < w; ++i) {
+    p0[static_cast<std::size_t>(i)] = n.xor2(a.bit(i), b.bit(i));
+    p[static_cast<std::size_t>(i)] = p0[static_cast<std::size_t>(i)];
+    g[static_cast<std::size_t>(i)] = n.and2(a.bit(i), b.bit(i));
+  }
+  if (cin != n.const0()) {
+    g[0] = n.or2(g[0], n.and2(p[0], cin));
+  }
+  auto combine = [&](int i, int j) {
+    g[static_cast<std::size_t>(i)] =
+        n.or2(g[static_cast<std::size_t>(i)],
+              n.and2(p[static_cast<std::size_t>(i)],
+                     g[static_cast<std::size_t>(j)]));
+    p[static_cast<std::size_t>(i)] = n.and2(p[static_cast<std::size_t>(i)],
+                                            p[static_cast<std::size_t>(j)]);
+  };
+  // Up-sweep: power-of-two prefixes.
+  int dmax = 1;
+  for (int d = 1; d < w; d <<= 1) {
+    for (int i = 2 * d - 1; i < w; i += 2 * d) combine(i, i - d);
+    dmax = d;
+  }
+  // Down-sweep: fill in the remaining prefixes.
+  for (int d = dmax; d >= 1; d >>= 1) {
+    for (int i = 3 * d - 1; i < w; i += 2 * d) combine(i, i - d);
+  }
+  Signal s;
+  s.bits.push_back(cin == n.const0() ? p0[0] : n.xor2(p0[0], cin));
+  for (int i = 1; i < w; ++i) {
+    s.bits.push_back(n.xor2(p0[static_cast<std::size_t>(i)],
+                            g[static_cast<std::size_t>(i - 1)]));
+  }
+  return s;
+}
+
+Signal carry_select_add(Netlist& n, const Signal& a, const Signal& b,
+                        NetId cin, int block) {
+  assert(a.width() == b.width() && a.width() >= 1 && block >= 1);
+  const int w = a.width();
+  Signal s;
+  NetId carry = cin;
+  for (int lo = 0; lo < w; lo += block) {
+    const int hi = std::min(lo + block, w);
+    Signal ba, bb;
+    for (int i = lo; i < hi; ++i) {
+      ba.bits.push_back(a.bit(i));
+      bb.bits.push_back(b.bit(i));
+    }
+    if (lo == 0) {
+      // First block rippled directly from cin.
+      NetId c = carry;
+      for (int i = 0; i < ba.width(); ++i) {
+        auto [sum, cout] = n.full_adder(ba.bit(i), bb.bit(i), c);
+        s.bits.push_back(sum);
+        c = cout;
+      }
+      carry = c;
+      continue;
+    }
+    // Two speculative ripples (cin = 0 and cin = 1), then select.
+    NetId c0 = n.const0(), c1 = n.const1();
+    std::vector<NetId> s0, s1;
+    for (int i = 0; i < ba.width(); ++i) {
+      auto [sum0, cout0] = n.full_adder(ba.bit(i), bb.bit(i), c0);
+      auto [sum1, cout1] = n.full_adder(ba.bit(i), bb.bit(i), c1);
+      s0.push_back(sum0);
+      s1.push_back(sum1);
+      c0 = cout0;
+      c1 = cout1;
+    }
+    for (int i = 0; i < ba.width(); ++i) {
+      s.bits.push_back(n.mux2(s0[static_cast<std::size_t>(i)],
+                              s1[static_cast<std::size_t>(i)], carry));
+    }
+    carry = n.mux2(c0, c1, carry);
+  }
+  return s;
+}
+
+Signal cpa(Netlist& n, AdderArch arch, const Signal& a, const Signal& b,
+           NetId cin) {
+  switch (arch) {
+    case AdderArch::Ripple:
+      return ripple_add(n, a, b, cin);
+    case AdderArch::KoggeStone:
+      return kogge_stone_add(n, a, b, cin);
+    case AdderArch::BrentKung:
+      return brent_kung_add(n, a, b, cin);
+    case AdderArch::CarrySelect:
+      return carry_select_add(n, a, b, cin);
+  }
+  return ripple_add(n, a, b, cin);
+}
+
+}  // namespace dpmerge::synth

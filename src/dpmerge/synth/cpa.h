@@ -1,0 +1,43 @@
+#pragma once
+
+#include "dpmerge/netlist/netlist.h"
+
+namespace dpmerge::synth {
+
+/// Final carry-propagate adder architectures. Every cluster (and every
+/// standalone operator in the no-merging flow) ends in exactly one of
+/// these; minimising their count is the point of operator merging.
+enum class AdderArch {
+  Ripple,       ///< area-lean, O(W) carry chain
+  KoggeStone,   ///< parallel-prefix, O(log W) depth, most wiring/cells
+  BrentKung,    ///< parallel-prefix, ~2 log W depth, far fewer cells
+  CarrySelect,  ///< blocks of duplicated ripple + mux select, O(W/k + k)
+};
+
+std::string_view to_string(AdderArch a);
+
+/// W-bit sum (a + b + cin) mod 2^W; operands must share width W >= 1.
+netlist::Signal ripple_add(netlist::Netlist& n, const netlist::Signal& a,
+                           const netlist::Signal& b,
+                           netlist::NetId cin);
+
+netlist::Signal kogge_stone_add(netlist::Netlist& n,
+                                const netlist::Signal& a,
+                                const netlist::Signal& b,
+                                netlist::NetId cin);
+
+netlist::Signal brent_kung_add(netlist::Netlist& n,
+                               const netlist::Signal& a,
+                               const netlist::Signal& b,
+                               netlist::NetId cin);
+
+netlist::Signal carry_select_add(netlist::Netlist& n,
+                                 const netlist::Signal& a,
+                                 const netlist::Signal& b,
+                                 netlist::NetId cin, int block = 4);
+
+netlist::Signal cpa(netlist::Netlist& n, AdderArch arch,
+                    const netlist::Signal& a, const netlist::Signal& b,
+                    netlist::NetId cin);
+
+}  // namespace dpmerge::synth

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "dpmerge/netlist/netlist.h"
+#include "dpmerge/synth/cpa.h"
+
+namespace dpmerge::synth {
+
+/// Carry-save reduction of a multiset of W-bit addend rows (the CSA-tree /
+/// Wallace-tree backend of operator merging, per [2][4][5] of the paper):
+/// bits accumulate per column; 3:2 and 2:2 compressors reduce every column
+/// to at most two bits; a single final carry-propagate adder produces the
+/// sum. All arithmetic is modulo 2^W (carries out of column W-1 drop).
+///
+/// Rows may contain constant nets: the netlist's folding helpers collapse
+/// compressors with constant inputs, so constants (negation "+1" correction
+/// terms, zero-extension fill) are nearly free.
+class CsaTree {
+ public:
+  CsaTree(netlist::Netlist& n, int width);
+
+  /// Adds a W-bit row; `negative` rows contribute their two's complement
+  /// (every bit inverted plus a +1 correction in column 0).
+  void add_row(const netlist::Signal& row, bool negative = false);
+
+  /// Adds a single bit at the given column.
+  void add_bit(int column, netlist::NetId bit);
+
+  /// Adds an integer constant (its set bits land in the matching columns).
+  void add_constant(const BitVector& v);
+
+  int rows_added() const { return rows_; }
+
+  /// Compresses to two rows and returns the final CPA sum. The tree is
+  /// consumed; the object must not be reused afterwards.
+  netlist::Signal reduce_and_sum(AdderArch arch);
+
+  /// Number of compression stages the last `reduce_and_sum` used (the CSA
+  /// tree depth — reported by the ablation bench).
+  int stages() const { return stages_; }
+
+ private:
+  netlist::Netlist& net_;
+  int width_;
+  int rows_ = 0;
+  int stages_ = 0;
+  std::vector<std::vector<netlist::NetId>> columns_;
+};
+
+}  // namespace dpmerge::synth

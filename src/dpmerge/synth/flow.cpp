@@ -1,0 +1,162 @@
+#include "dpmerge/synth/flow.h"
+
+#include <cassert>
+
+#include "dpmerge/synth/cluster_synth.h"
+#include "dpmerge/transform/width_prune.h"
+
+namespace dpmerge::synth {
+
+using analysis::InfoAnalysis;
+using cluster::Partition;
+using dfg::Graph;
+using dfg::Node;
+using dfg::NodeId;
+using dfg::OpKind;
+using netlist::Netlist;
+using netlist::Signal;
+
+std::string_view to_string(Flow f) {
+  switch (f) {
+    case Flow::NoMerge:
+      return "no-merge";
+    case Flow::OldMerge:
+      return "old-merge";
+    case Flow::NewMerge:
+      return "new-merge";
+  }
+  return "?";
+}
+
+Netlist synthesize_partition(const Graph& g, const Partition& p,
+                             const InfoAnalysis& ia,
+                             const SynthOptions& opt) {
+  Netlist net;
+  std::vector<Signal> sig(static_cast<std::size_t>(g.node_count()));
+
+  for (NodeId id : g.topo_order()) {
+    const Node& n = g.node(id);
+    auto& s = sig[static_cast<std::size_t>(id.value)];
+    switch (n.kind) {
+      case OpKind::Input: {
+        for (int i = 0; i < n.width; ++i) s.bits.push_back(net.new_net());
+        net.add_input(n.name, s);
+        break;
+      }
+      case OpKind::Const:
+        s = net.constant_signal(n.value);
+        break;
+      case OpKind::Output:
+        s = operand_signal(net, g, n.in[0], sig);
+        net.add_output(n.name, s);
+        break;
+      case OpKind::Extension:
+        // Pure wiring: truncation selects bits, extension replicates the
+        // top net or ties zeros.
+        s = operand_signal(net, g, n.in[0], sig);
+        break;
+      case OpKind::LtS:
+      case OpKind::LtU:
+      case OpKind::Eq: {
+        // Comparators are 1-bit cluster boundaries synthesised standalone.
+        const Signal a = operand_signal(net, g, n.in[0], sig);
+        const Signal b2 = operand_signal(net, g, n.in[1], sig);
+        netlist::NetId r;
+        if (n.kind == OpKind::Eq) {
+          // Balanced OR tree over per-bit differences, then invert.
+          std::vector<netlist::NetId> diffs;
+          for (int i = 0; i < n.width; ++i) {
+            diffs.push_back(net.xor2(a.bit(i), b2.bit(i)));
+          }
+          while (diffs.size() > 1) {
+            std::vector<netlist::NetId> nxt;
+            for (std::size_t i = 0; i + 1 < diffs.size(); i += 2) {
+              nxt.push_back(net.or2(diffs[i], diffs[i + 1]));
+            }
+            if (diffs.size() % 2) nxt.push_back(diffs.back());
+            diffs = std::move(nxt);
+          }
+          r = net.inv(diffs[0]);
+        } else {
+          // a < b  <=>  sign of the (w+1)-bit difference a - b.
+          const Sign ext =
+              n.kind == OpKind::LtS ? Sign::Signed : Sign::Unsigned;
+          const Signal ae = net.resize(a, n.width + 1, ext);
+          const Signal be = net.resize(b2, n.width + 1, ext);
+          const Signal diff =
+              cpa(net, opt.adder, ae, net.invert(be), net.const1());
+          r = diff.msb();
+        }
+        s.bits.assign(static_cast<std::size_t>(n.width), net.const0());
+        s.bits[0] = r;
+        break;
+      }
+      default: {
+        // Arithmetic operators materialise only at cluster roots; interior
+        // members are absorbed into the root's CSA tree.
+        const int ci = p.index_of(id);
+        assert(ci >= 0);
+        const auto& c = p.clusters[static_cast<std::size_t>(ci)];
+        if (c.root == id) {
+          s = synthesize_cluster(net, g, c, ia, sig, opt.adder,
+                                 opt.booth_multipliers);
+        }
+        break;
+      }
+    }
+  }
+  return net;
+}
+
+cluster::ClusterResult prepare_new_merge(Graph& g) {
+  transform::normalize_widths(g);
+  auto cr = cluster::cluster_maximal(g);
+  // Feed the rebalanced cluster-output bounds (Section 5.2) back into the
+  // width transformations: a tighter bound can shrink the cluster root (and
+  // everything required precision then caps), which can in turn merge more.
+  for (int round = 0; round < 4; ++round) {
+    const auto stats = transform::normalize_widths(g, 8, &cr.refinements);
+    if (!stats.changed()) break;
+    auto next = cluster::cluster_maximal(g);
+    // Carry earlier refinements forward (they remain valid claims).
+    for (std::size_t i = 0; i < cr.refinements.size(); ++i) {
+      if (!cr.refinements[i]) continue;
+      if (i < next.refinements.size()) {
+        next.refinements[i] = next.refinements[i]
+                                  ? analysis::ic_meet(*next.refinements[i],
+                                                      *cr.refinements[i])
+                                  : cr.refinements[i];
+      }
+    }
+    next.iterations += cr.iterations;
+    cr = std::move(next);
+  }
+  return cr;
+}
+
+FlowResult run_flow(const Graph& g, Flow flow, const SynthOptions& opt) {
+  FlowResult res;
+  res.graph = g;
+  InfoAnalysis ia;
+  switch (flow) {
+    case Flow::NoMerge:
+      res.partition = cluster::cluster_none(res.graph);
+      ia = analysis::compute_info_content(res.graph);
+      break;
+    case Flow::OldMerge:
+      res.partition = cluster::cluster_leakage(res.graph);
+      ia = analysis::compute_info_content(res.graph);
+      break;
+    case Flow::NewMerge: {
+      auto cr = prepare_new_merge(res.graph);
+      res.partition = std::move(cr.partition);
+      res.cluster_iterations = cr.iterations;
+      ia = std::move(cr.info);
+      break;
+    }
+  }
+  res.net = synthesize_partition(res.graph, res.partition, ia, opt);
+  return res;
+}
+
+}  // namespace dpmerge::synth

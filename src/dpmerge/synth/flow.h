@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string_view>
+
+#include "dpmerge/cluster/clusterer.h"
+#include "dpmerge/dfg/graph.h"
+#include "dpmerge/netlist/netlist.h"
+#include "dpmerge/synth/cpa.h"
+
+namespace dpmerge::synth {
+
+/// The three synthesis flows compared in Section 7's tables.
+enum class Flow {
+  NoMerge,   ///< traditional: every operator synthesised standalone
+  OldMerge,  ///< leakage-of-bits clustering, no width transformations
+  NewMerge,  ///< the paper: RP/IC normalisation + iterative maximal merging
+};
+
+std::string_view to_string(Flow f);
+
+struct SynthOptions {
+  AdderArch adder = AdderArch::KoggeStone;
+  /// Radix-4 Booth recoding for multiplier partial products (about half the
+  /// CSA rows per product).
+  bool booth_multipliers = false;
+};
+
+struct FlowResult {
+  dfg::Graph graph;  ///< the synthesised DFG (width-normalised for NewMerge)
+  cluster::Partition partition;
+  int cluster_iterations = 1;
+  netlist::Netlist net;
+};
+
+/// Runs a complete flow: (transform) -> cluster -> netlist. The netlist's
+/// input/output buses are named after the DFG's input/output nodes, so the
+/// result can be simulated against the DFG interpreter directly.
+FlowResult run_flow(const dfg::Graph& g, Flow flow,
+                    const SynthOptions& opt = {});
+
+/// The new-merge front-end in isolation: width normalisation and iterative
+/// maximal clustering, with the Huffman refinements fed back into further
+/// width pruning until a fixpoint (mutates `g`). Returns the final
+/// clustering.
+cluster::ClusterResult prepare_new_merge(dfg::Graph& g);
+
+/// Synthesises a DFG given an existing partition (the flows above all land
+/// here; exposed for custom clusterings and the ablation bench).
+netlist::Netlist synthesize_partition(const dfg::Graph& g,
+                                      const cluster::Partition& p,
+                                      const analysis::InfoAnalysis& ia,
+                                      const SynthOptions& opt);
+
+}  // namespace dpmerge::synth

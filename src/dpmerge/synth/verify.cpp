@@ -1,0 +1,61 @@
+#include "dpmerge/synth/verify.h"
+
+#include <map>
+#include <sstream>
+
+#include "dpmerge/netlist/sim.h"
+
+namespace dpmerge::synth {
+
+using dfg::Graph;
+using netlist::Netlist;
+using netlist::Simulator;
+
+bool verify_netlist(const Netlist& net, const Graph& g, int trials, Rng& rng,
+                    std::string* why) {
+  dfg::Evaluator ev(g);
+  Simulator sim(net);
+  const auto g_inputs = g.inputs();
+  const auto g_outputs = g.outputs();
+
+  auto check = [&](const std::vector<BitVector>& stim) {
+    std::map<std::string, BitVector> by_name;
+    for (std::size_t i = 0; i < g_inputs.size(); ++i) {
+      by_name[g.node(g_inputs[i]).name] = stim[i];
+    }
+    const auto expect = ev.run_outputs(stim);
+    const auto got = sim.run(by_name);
+    for (std::size_t i = 0; i < g_outputs.size(); ++i) {
+      const std::string& name = g.node(g_outputs[i]).name;
+      const auto it = got.find(name);
+      if (it == got.end() || it->second != expect[i]) {
+        if (why) {
+          std::ostringstream os;
+          os << "output '" << name << "': dfg=" << expect[i].to_string()
+             << " netlist="
+             << (it == got.end() ? std::string("<missing>")
+                                 : it->second.to_string());
+          *why = os.str();
+        }
+        return false;
+      }
+    }
+    return true;
+  };
+
+  {
+    std::vector<BitVector> zeros, ones;
+    for (dfg::NodeId id : g_inputs) {
+      BitVector z(g.node(id).width);
+      zeros.push_back(z);
+      ones.push_back(z.bit_not());
+    }
+    if (!check(zeros) || !check(ones)) return false;
+  }
+  for (int t = 0; t < trials; ++t) {
+    if (!check(ev.random_inputs(rng))) return false;
+  }
+  return true;
+}
+
+}  // namespace dpmerge::synth

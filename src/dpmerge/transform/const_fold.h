@@ -1,0 +1,31 @@
+#pragma once
+
+#include "dpmerge/dfg/graph.h"
+
+namespace dpmerge::transform {
+
+struct FoldStats {
+  int constants_folded = 0;    ///< operators evaluated away entirely
+  int strength_reduced = 0;    ///< mul-by-2^k -> shift, mul-by-(-1) -> neg
+  int identities_removed = 0;  ///< x+0, x*1, x<<0, x-x, x*0
+  bool changed() const {
+    return constants_folded || strength_reduced || identities_removed;
+  }
+};
+
+/// Constant folding and strength reduction on the DFG, returning a new
+/// functionally equivalent graph:
+///   - operators whose operands are all constants are evaluated (with the
+///     exact edge-resize semantics) into Const nodes;
+///   - multiplication by a delivered constant 0 / 1 / -1 / 2^k becomes a
+///     constant, a wire, a negation, or a constant shift — the shift form
+///     matters for merging: a `Shl` is a mergeable operator (its addends
+///     are column-shifted rows) while a multiplier operand edge is a hard
+///     cluster boundary (Synthesizability Condition 1);
+///   - x+0, 0+x, x-0, x<<0 and x-x collapse.
+/// Pure width adaptations left behind by a removed operator materialise as
+/// Extension nodes (wiring only). Runs to a local fixpoint in one topo pass
+/// (operands are folded before their consumers are inspected).
+dfg::Graph fold_constants(const dfg::Graph& g, FoldStats* stats = nullptr);
+
+}  // namespace dpmerge::transform

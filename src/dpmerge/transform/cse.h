@@ -1,0 +1,25 @@
+#pragma once
+
+#include "dpmerge/dfg/graph.h"
+
+namespace dpmerge::transform {
+
+struct CseStats {
+  int nodes_merged = 0;
+};
+
+/// DFG-level common-subexpression elimination: structurally identical
+/// operator nodes (same kind, width, shift/extension attributes, and the
+/// same <source, width, signedness> on every operand — commutative operands
+/// normalised) are merged, as are equal-valued constants. Returns a new,
+/// functionally equivalent graph.
+///
+/// Interacts with merging in both directions: sharing reduces area (the
+/// shared cone is synthesised once), but a newly shared node that feeds two
+/// different clusters becomes a cluster root (Synthesizability Condition
+/// 2), so sharing can split clusters. Run it before the flow and measure —
+/// the kernels bench does.
+dfg::Graph share_common_subexpressions(const dfg::Graph& g,
+                                       CseStats* stats = nullptr);
+
+}  // namespace dpmerge::transform

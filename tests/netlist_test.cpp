@@ -1,0 +1,171 @@
+#include "dpmerge/netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "dpmerge/netlist/sim.h"
+#include "dpmerge/support/rng.h"
+
+namespace dpmerge::netlist {
+namespace {
+
+TEST(Cell, InputCounts) {
+  EXPECT_EQ(cell_input_count(CellType::INV), 1);
+  EXPECT_EQ(cell_input_count(CellType::BUF), 1);
+  EXPECT_EQ(cell_input_count(CellType::NAND2), 2);
+  EXPECT_EQ(cell_input_count(CellType::MUX2), 3);
+}
+
+TEST(Cell, TruthTables) {
+  EXPECT_TRUE(eval_cell(CellType::INV, {false}));
+  EXPECT_FALSE(eval_cell(CellType::INV, {true}));
+  EXPECT_TRUE(eval_cell(CellType::NAND2, {true, false}));
+  EXPECT_FALSE(eval_cell(CellType::NAND2, {true, true}));
+  EXPECT_TRUE(eval_cell(CellType::XOR2, {true, false}));
+  EXPECT_FALSE(eval_cell(CellType::XOR2, {true, true}));
+  EXPECT_TRUE(eval_cell(CellType::XNOR2, {true, true}));
+  EXPECT_TRUE(eval_cell(CellType::MUX2, {false, true, true}));
+  EXPECT_FALSE(eval_cell(CellType::MUX2, {false, true, false}));
+}
+
+TEST(Cell, LibraryVariantsScale) {
+  const auto& lib = CellLibrary::tsmc025();
+  for (CellType t : {CellType::INV, CellType::NAND2, CellType::XOR2}) {
+    const auto& x1 = lib.variant(t, 0);
+    const auto& x4 = lib.variant(t, 2);
+    EXPECT_LT(x4.drive_res_ns, x1.drive_res_ns);  // stronger drive
+    EXPECT_GT(x4.area, x1.area);                  // costs area
+    EXPECT_GT(x4.input_cap, x1.input_cap);        // loads its driver more
+  }
+}
+
+TEST(Netlist, ConstantFolding) {
+  Netlist n;
+  const NetId a = n.new_net();
+  EXPECT_EQ(n.and2(a, n.const0()), n.const0());
+  EXPECT_EQ(n.and2(a, n.const1()), a);
+  EXPECT_EQ(n.or2(a, n.const1()), n.const1());
+  EXPECT_EQ(n.or2(a, n.const0()), a);
+  EXPECT_EQ(n.xor2(a, n.const0()), a);
+  EXPECT_EQ(n.xor2(a, a), n.const0());
+  EXPECT_EQ(n.inv(n.const0()), n.const1());
+  EXPECT_EQ(n.mux2(a, a, n.new_net()), a);
+  EXPECT_EQ(n.gate_count(), 0);  // everything folded
+  const NetId b = n.xor2(a, n.const1());
+  EXPECT_FALSE(n.is_const(b));
+  EXPECT_EQ(n.gate_count(), 1);  // one INV
+  EXPECT_EQ(n.gates()[0].type, CellType::INV);
+}
+
+TEST(Netlist, FullAdderWithConstantsIsFree) {
+  Netlist n;
+  const NetId x = n.new_net();
+  auto [sum, carry] = n.full_adder(n.const1(), n.const1(), x);
+  EXPECT_EQ(sum, x);
+  EXPECT_EQ(carry, n.const1());
+  EXPECT_EQ(n.gate_count(), 0);
+}
+
+TEST(Netlist, ResizeSignal) {
+  Netlist n;
+  Signal s;
+  for (int i = 0; i < 4; ++i) s.bits.push_back(n.new_net());
+  const Signal ext = n.resize(s, 7, Sign::Signed);
+  EXPECT_EQ(ext.width(), 7);
+  EXPECT_EQ(ext.bit(6), s.msb());  // replicated sign net
+  const Signal zext = n.resize(s, 7, Sign::Unsigned);
+  EXPECT_EQ(zext.bit(6), n.const0());
+  const Signal tr = n.resize(s, 2, Sign::Signed);
+  EXPECT_EQ(tr.width(), 2);
+  EXPECT_EQ(tr.bit(1), s.bit(1));
+  EXPECT_EQ(n.gate_count(), 0);  // resizing is pure wiring
+}
+
+TEST(Netlist, InvertSharesSignInverter) {
+  Netlist n;
+  Signal s;
+  for (int i = 0; i < 3; ++i) s.bits.push_back(n.new_net());
+  const Signal ext = n.resize(s, 8, Sign::Signed);
+  const Signal inv = n.invert(ext);
+  // 3 distinct nets + 1 shared fill → 3 inverters, not 8... the fill net is
+  // the msb itself, so bits 2..7 share one inverter.
+  EXPECT_EQ(n.gate_count(), 3);
+  for (int i = 3; i < 8; ++i) EXPECT_EQ(inv.bit(i), inv.bit(2));
+}
+
+TEST(Netlist, ValidateCatchesFloatingInput) {
+  Netlist n;
+  const NetId stray = n.new_net();
+  n.add_gate(CellType::INV, {stray});
+  EXPECT_FALSE(n.validate().empty());
+
+  Netlist ok;
+  Signal in;
+  in.bits.push_back(ok.new_net());
+  ok.add_input("a", in);
+  Signal out;
+  out.bits.push_back(ok.inv(in.bit(0)));
+  ok.add_output("r", out);
+  EXPECT_TRUE(ok.validate().empty());
+}
+
+TEST(Netlist, TopoGatesRespectsDependencies) {
+  Netlist n;
+  const NetId a = n.new_net();
+  Signal in{{a}};
+  n.add_input("a", in);
+  const NetId b = n.inv(a);
+  const NetId c = n.inv(b);
+  const NetId d = n.and2(b, c);
+  Signal out{{d}};
+  n.add_output("r", out);
+  const auto order = n.topo_gates();
+  ASSERT_EQ(order.size(), 3u);
+  std::vector<int> pos(static_cast<std::size_t>(n.gate_count()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i].value)] = static_cast<int>(i);
+  }
+  for (const Gate& g : n.gates()) {
+    for (NetId gin : g.inputs) {
+      const Gate* drv = n.driver(gin);
+      if (drv) {
+        EXPECT_LT(pos[static_cast<std::size_t>(drv->id.value)],
+                  pos[static_cast<std::size_t>(g.id.value)]);
+      }
+    }
+  }
+}
+
+TEST(Simulator, FullAdderTruthTable) {
+  Netlist n;
+  Signal a{{n.new_net()}}, b{{n.new_net()}}, c{{n.new_net()}};
+  n.add_input("a", a);
+  n.add_input("b", b);
+  n.add_input("c", c);
+  auto [sum, carry] = n.full_adder(a.bit(0), b.bit(0), c.bit(0));
+  n.add_output("s", Signal{{sum}});
+  n.add_output("co", Signal{{carry}});
+  Simulator sim(n);
+  for (int v = 0; v < 8; ++v) {
+    const bool ba = v & 1, bb = v & 2, bc = v & 4;
+    const auto out = sim.run({{"a", BitVector::from_uint(1, ba)},
+                              {"b", BitVector::from_uint(1, bb)},
+                              {"c", BitVector::from_uint(1, bc)}});
+    const int total = ba + bb + bc;
+    EXPECT_EQ(out.at("s").to_uint64(), static_cast<unsigned>(total & 1));
+    EXPECT_EQ(out.at("co").to_uint64(), static_cast<unsigned>(total >> 1));
+  }
+}
+
+TEST(Simulator, MissingStimulusThrows) {
+  Netlist n;
+  Signal a{{n.new_net()}};
+  n.add_input("a", a);
+  n.add_output("r", a);
+  Simulator sim(n);
+  EXPECT_THROW(sim.run({}), std::invalid_argument);
+  EXPECT_THROW(sim.run({{"a", BitVector::from_uint(3, 1)}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpmerge::netlist

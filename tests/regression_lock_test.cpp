@@ -1,0 +1,103 @@
+// Regression locks: pins the exact cluster counts, iteration counts and
+// width outcomes of the five testcases under every flow, so any change to
+// the analyses or break conditions that shifts the Table 1/2 shapes fails
+// loudly here rather than silently degrading the reproduction.
+
+#include <gtest/gtest.h>
+
+#include "dpmerge/designs/testcases.h"
+#include "dpmerge/netlist/sta.h"
+#include "dpmerge/synth/flow.h"
+
+namespace dpmerge {
+namespace {
+
+struct Expected {
+  const char* name;
+  int clusters_none;
+  int clusters_old;
+  int clusters_new;
+};
+
+constexpr Expected kExpected[] = {
+    {"D1", 15, 7, 1}, {"D2", 35, 14, 1}, {"D3", 15, 13, 9},
+    {"D4", 19, 3, 1}, {"D5", 15, 2, 1},
+};
+
+TEST(RegressionLock, ClusterCountsPerFlow) {
+  const auto cases = designs::all_testcases();
+  ASSERT_EQ(cases.size(), std::size(kExpected));
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& tc = cases[i];
+    const auto& e = kExpected[i];
+    ASSERT_EQ(tc.name, e.name);
+    EXPECT_EQ(synth::run_flow(tc.graph, synth::Flow::NoMerge)
+                  .partition.num_clusters(),
+              e.clusters_none)
+        << tc.name;
+    EXPECT_EQ(synth::run_flow(tc.graph, synth::Flow::OldMerge)
+                  .partition.num_clusters(),
+              e.clusters_old)
+        << tc.name;
+    EXPECT_EQ(synth::run_flow(tc.graph, synth::Flow::NewMerge)
+                  .partition.num_clusters(),
+              e.clusters_new)
+        << tc.name;
+  }
+}
+
+TEST(RegressionLock, D1D2NeedMultipleIterations) {
+  // The paper's D1/D2 narrative depends on the *iterative* part of the
+  // Section 6 algorithm actually firing.
+  for (auto make : {&designs::make_d1, &designs::make_d2}) {
+    dfg::Graph g = make();
+    const auto cr = synth::prepare_new_merge(g);
+    EXPECT_GT(cr.iterations, 1);
+  }
+}
+
+TEST(RegressionLock, MaxOperatorWidthAfterNewMerge) {
+  // Redundant widths must collapse to (close to) the true content.
+  struct W {
+    const char* name;
+    int max_width;
+  };
+  constexpr W kWidths[] = {
+      {"D1", 12}, {"D2", 16}, {"D3", 14}, {"D4", 12}, {"D5", 11}};
+  const auto cases = designs::all_testcases();
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    dfg::Graph g = cases[i].graph;
+    synth::prepare_new_merge(g);
+    int max_w = 0;
+    for (const auto& n : g.nodes()) {
+      if (dfg::is_arith_operator(n.kind)) max_w = std::max(max_w, n.width);
+    }
+    EXPECT_LE(max_w, kWidths[i].max_width) << cases[i].name;
+  }
+}
+
+TEST(RegressionLock, Table1ShapeBands) {
+  // Coarse bands around the measured Table 1 ratios (EXPERIMENTS.md): fail
+  // if the new flow's advantage over old collapses or the ordering flips.
+  netlist::Sta sta(netlist::CellLibrary::tsmc025());
+  const auto cases = designs::all_testcases();
+  for (const auto& tc : cases) {
+    const auto none = synth::run_flow(tc.graph, synth::Flow::NoMerge);
+    const auto old = synth::run_flow(tc.graph, synth::Flow::OldMerge);
+    const auto neu = synth::run_flow(tc.graph, synth::Flow::NewMerge);
+    const double dn = sta.analyze(none.net).longest_path_ns;
+    const double d_old = sta.analyze(old.net).longest_path_ns;
+    const double dz = sta.analyze(neu.net).longest_path_ns;
+    EXPECT_LE(dz, d_old * 1.001) << tc.name;
+    EXPECT_LE(d_old, dn * 1.001) << tc.name;
+    const bool redundant = tc.name == "D4" || tc.name == "D5";
+    if (redundant) {
+      // Dramatic wins: >=40% delay and >=55% area off the old flow.
+      EXPECT_LT(dz, 0.6 * d_old) << tc.name;
+      EXPECT_LT(sta.area(neu.net), 0.45 * sta.area(old.net)) << tc.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpmerge
