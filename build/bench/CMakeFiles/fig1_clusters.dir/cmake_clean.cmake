@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_clusters.dir/fig1_clusters.cpp.o"
+  "CMakeFiles/fig1_clusters.dir/fig1_clusters.cpp.o.d"
+  "fig1_clusters"
+  "fig1_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

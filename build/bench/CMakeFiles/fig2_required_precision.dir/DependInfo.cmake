@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_required_precision.cpp" "bench/CMakeFiles/fig2_required_precision.dir/fig2_required_precision.cpp.o" "gcc" "bench/CMakeFiles/fig2_required_precision.dir/fig2_required_precision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dpmerge/cluster/CMakeFiles/dpmerge_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpmerge/transform/CMakeFiles/dpmerge_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpmerge/designs/CMakeFiles/dpmerge_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpmerge/analysis/CMakeFiles/dpmerge_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpmerge/frontend/CMakeFiles/dpmerge_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpmerge/dfg/CMakeFiles/dpmerge_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpmerge/support/CMakeFiles/dpmerge_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_required_precision.dir/fig2_required_precision.cpp.o"
+  "CMakeFiles/fig2_required_precision.dir/fig2_required_precision.cpp.o.d"
+  "fig2_required_precision"
+  "fig2_required_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_required_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_info_content.dir/fig3_info_content.cpp.o"
+  "CMakeFiles/fig3_info_content.dir/fig3_info_content.cpp.o.d"
+  "fig3_info_content"
+  "fig3_info_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_info_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_rebalancing.dir/fig4_rebalancing.cpp.o"
+  "CMakeFiles/fig4_rebalancing.dir/fig4_rebalancing.cpp.o.d"
+  "fig4_rebalancing"
+  "fig4_rebalancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rebalancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complex_multiply.dir/complex_multiply.cpp.o"
+  "CMakeFiles/complex_multiply.dir/complex_multiply.cpp.o.d"
+  "complex_multiply"
+  "complex_multiply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complex_multiply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for complex_multiply.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc.dir/dpc.cpp.o"
+  "CMakeFiles/dpc.dir/dpc.cpp.o.d"
+  "dpc"
+  "dpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/width_inspector.dir/width_inspector.cpp.o"
+  "CMakeFiles/width_inspector.dir/width_inspector.cpp.o.d"
+  "width_inspector"
+  "width_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/width_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("dpmerge/support")
+subdirs("dpmerge/dfg")
+subdirs("dpmerge/analysis")
+subdirs("dpmerge/transform")
+subdirs("dpmerge/cluster")
+subdirs("dpmerge/designs")
+subdirs("dpmerge/netlist")
+subdirs("dpmerge/synth")
+subdirs("dpmerge/opt")
+subdirs("dpmerge/formal")
+subdirs("dpmerge/frontend")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpmerge_analysis.dir/huffman.cpp.o"
+  "CMakeFiles/dpmerge_analysis.dir/huffman.cpp.o.d"
+  "CMakeFiles/dpmerge_analysis.dir/info_content.cpp.o"
+  "CMakeFiles/dpmerge_analysis.dir/info_content.cpp.o.d"
+  "CMakeFiles/dpmerge_analysis.dir/required_precision.cpp.o"
+  "CMakeFiles/dpmerge_analysis.dir/required_precision.cpp.o.d"
+  "libdpmerge_analysis.a"
+  "libdpmerge_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpmerge_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpmerge_cluster.dir/clusterer.cpp.o"
+  "CMakeFiles/dpmerge_cluster.dir/clusterer.cpp.o.d"
+  "CMakeFiles/dpmerge_cluster.dir/flatten.cpp.o"
+  "CMakeFiles/dpmerge_cluster.dir/flatten.cpp.o.d"
+  "CMakeFiles/dpmerge_cluster.dir/partition.cpp.o"
+  "CMakeFiles/dpmerge_cluster.dir/partition.cpp.o.d"
+  "libdpmerge_cluster.a"
+  "libdpmerge_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpmerge_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpmerge_designs.dir/figures.cpp.o"
+  "CMakeFiles/dpmerge_designs.dir/figures.cpp.o.d"
+  "CMakeFiles/dpmerge_designs.dir/kernels.cpp.o"
+  "CMakeFiles/dpmerge_designs.dir/kernels.cpp.o.d"
+  "CMakeFiles/dpmerge_designs.dir/testcases.cpp.o"
+  "CMakeFiles/dpmerge_designs.dir/testcases.cpp.o.d"
+  "libdpmerge_designs.a"
+  "libdpmerge_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpmerge_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

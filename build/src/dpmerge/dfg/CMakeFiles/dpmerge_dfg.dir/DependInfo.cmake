@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpmerge/dfg/eval.cpp" "src/dpmerge/dfg/CMakeFiles/dpmerge_dfg.dir/eval.cpp.o" "gcc" "src/dpmerge/dfg/CMakeFiles/dpmerge_dfg.dir/eval.cpp.o.d"
+  "/root/repo/src/dpmerge/dfg/graph.cpp" "src/dpmerge/dfg/CMakeFiles/dpmerge_dfg.dir/graph.cpp.o" "gcc" "src/dpmerge/dfg/CMakeFiles/dpmerge_dfg.dir/graph.cpp.o.d"
+  "/root/repo/src/dpmerge/dfg/io.cpp" "src/dpmerge/dfg/CMakeFiles/dpmerge_dfg.dir/io.cpp.o" "gcc" "src/dpmerge/dfg/CMakeFiles/dpmerge_dfg.dir/io.cpp.o.d"
+  "/root/repo/src/dpmerge/dfg/random_graph.cpp" "src/dpmerge/dfg/CMakeFiles/dpmerge_dfg.dir/random_graph.cpp.o" "gcc" "src/dpmerge/dfg/CMakeFiles/dpmerge_dfg.dir/random_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dpmerge/support/CMakeFiles/dpmerge_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpmerge_dfg.dir/eval.cpp.o"
+  "CMakeFiles/dpmerge_dfg.dir/eval.cpp.o.d"
+  "CMakeFiles/dpmerge_dfg.dir/graph.cpp.o"
+  "CMakeFiles/dpmerge_dfg.dir/graph.cpp.o.d"
+  "CMakeFiles/dpmerge_dfg.dir/io.cpp.o"
+  "CMakeFiles/dpmerge_dfg.dir/io.cpp.o.d"
+  "CMakeFiles/dpmerge_dfg.dir/random_graph.cpp.o"
+  "CMakeFiles/dpmerge_dfg.dir/random_graph.cpp.o.d"
+  "libdpmerge_dfg.a"
+  "libdpmerge_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpmerge_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpmerge_formal.dir/bdd.cpp.o"
+  "CMakeFiles/dpmerge_formal.dir/bdd.cpp.o.d"
+  "CMakeFiles/dpmerge_formal.dir/equiv.cpp.o"
+  "CMakeFiles/dpmerge_formal.dir/equiv.cpp.o.d"
+  "libdpmerge_formal.a"
+  "libdpmerge_formal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpmerge_formal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpmerge_frontend.dir/parser.cpp.o"
+  "CMakeFiles/dpmerge_frontend.dir/parser.cpp.o.d"
+  "libdpmerge_frontend.a"
+  "libdpmerge_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpmerge_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

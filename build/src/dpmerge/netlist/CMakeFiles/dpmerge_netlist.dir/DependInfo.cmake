@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpmerge/netlist/cell.cpp" "src/dpmerge/netlist/CMakeFiles/dpmerge_netlist.dir/cell.cpp.o" "gcc" "src/dpmerge/netlist/CMakeFiles/dpmerge_netlist.dir/cell.cpp.o.d"
+  "/root/repo/src/dpmerge/netlist/netlist.cpp" "src/dpmerge/netlist/CMakeFiles/dpmerge_netlist.dir/netlist.cpp.o" "gcc" "src/dpmerge/netlist/CMakeFiles/dpmerge_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/dpmerge/netlist/sim.cpp" "src/dpmerge/netlist/CMakeFiles/dpmerge_netlist.dir/sim.cpp.o" "gcc" "src/dpmerge/netlist/CMakeFiles/dpmerge_netlist.dir/sim.cpp.o.d"
+  "/root/repo/src/dpmerge/netlist/simplify.cpp" "src/dpmerge/netlist/CMakeFiles/dpmerge_netlist.dir/simplify.cpp.o" "gcc" "src/dpmerge/netlist/CMakeFiles/dpmerge_netlist.dir/simplify.cpp.o.d"
+  "/root/repo/src/dpmerge/netlist/sta.cpp" "src/dpmerge/netlist/CMakeFiles/dpmerge_netlist.dir/sta.cpp.o" "gcc" "src/dpmerge/netlist/CMakeFiles/dpmerge_netlist.dir/sta.cpp.o.d"
+  "/root/repo/src/dpmerge/netlist/verilog.cpp" "src/dpmerge/netlist/CMakeFiles/dpmerge_netlist.dir/verilog.cpp.o" "gcc" "src/dpmerge/netlist/CMakeFiles/dpmerge_netlist.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dpmerge/support/CMakeFiles/dpmerge_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

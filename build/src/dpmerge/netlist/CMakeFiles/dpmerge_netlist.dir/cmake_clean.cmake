@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpmerge_netlist.dir/cell.cpp.o"
+  "CMakeFiles/dpmerge_netlist.dir/cell.cpp.o.d"
+  "CMakeFiles/dpmerge_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/dpmerge_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/dpmerge_netlist.dir/sim.cpp.o"
+  "CMakeFiles/dpmerge_netlist.dir/sim.cpp.o.d"
+  "CMakeFiles/dpmerge_netlist.dir/simplify.cpp.o"
+  "CMakeFiles/dpmerge_netlist.dir/simplify.cpp.o.d"
+  "CMakeFiles/dpmerge_netlist.dir/sta.cpp.o"
+  "CMakeFiles/dpmerge_netlist.dir/sta.cpp.o.d"
+  "CMakeFiles/dpmerge_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/dpmerge_netlist.dir/verilog.cpp.o.d"
+  "libdpmerge_netlist.a"
+  "libdpmerge_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpmerge_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

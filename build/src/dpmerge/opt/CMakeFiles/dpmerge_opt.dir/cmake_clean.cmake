@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpmerge_opt.dir/timing_opt.cpp.o"
+  "CMakeFiles/dpmerge_opt.dir/timing_opt.cpp.o.d"
+  "libdpmerge_opt.a"
+  "libdpmerge_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpmerge_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

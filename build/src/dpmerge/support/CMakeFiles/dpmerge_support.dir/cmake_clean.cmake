@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpmerge_support.dir/bitvector.cpp.o"
+  "CMakeFiles/dpmerge_support.dir/bitvector.cpp.o.d"
+  "libdpmerge_support.a"
+  "libdpmerge_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpmerge_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpmerge_synth.dir/cluster_synth.cpp.o"
+  "CMakeFiles/dpmerge_synth.dir/cluster_synth.cpp.o.d"
+  "CMakeFiles/dpmerge_synth.dir/cpa.cpp.o"
+  "CMakeFiles/dpmerge_synth.dir/cpa.cpp.o.d"
+  "CMakeFiles/dpmerge_synth.dir/csa_tree.cpp.o"
+  "CMakeFiles/dpmerge_synth.dir/csa_tree.cpp.o.d"
+  "CMakeFiles/dpmerge_synth.dir/flow.cpp.o"
+  "CMakeFiles/dpmerge_synth.dir/flow.cpp.o.d"
+  "CMakeFiles/dpmerge_synth.dir/verify.cpp.o"
+  "CMakeFiles/dpmerge_synth.dir/verify.cpp.o.d"
+  "libdpmerge_synth.a"
+  "libdpmerge_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpmerge_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpmerge/transform/const_fold.cpp" "src/dpmerge/transform/CMakeFiles/dpmerge_transform.dir/const_fold.cpp.o" "gcc" "src/dpmerge/transform/CMakeFiles/dpmerge_transform.dir/const_fold.cpp.o.d"
+  "/root/repo/src/dpmerge/transform/cse.cpp" "src/dpmerge/transform/CMakeFiles/dpmerge_transform.dir/cse.cpp.o" "gcc" "src/dpmerge/transform/CMakeFiles/dpmerge_transform.dir/cse.cpp.o.d"
+  "/root/repo/src/dpmerge/transform/rebalance.cpp" "src/dpmerge/transform/CMakeFiles/dpmerge_transform.dir/rebalance.cpp.o" "gcc" "src/dpmerge/transform/CMakeFiles/dpmerge_transform.dir/rebalance.cpp.o.d"
+  "/root/repo/src/dpmerge/transform/width_prune.cpp" "src/dpmerge/transform/CMakeFiles/dpmerge_transform.dir/width_prune.cpp.o" "gcc" "src/dpmerge/transform/CMakeFiles/dpmerge_transform.dir/width_prune.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dpmerge/analysis/CMakeFiles/dpmerge_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpmerge/cluster/CMakeFiles/dpmerge_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpmerge/dfg/CMakeFiles/dpmerge_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpmerge/support/CMakeFiles/dpmerge_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpmerge_transform.dir/const_fold.cpp.o"
+  "CMakeFiles/dpmerge_transform.dir/const_fold.cpp.o.d"
+  "CMakeFiles/dpmerge_transform.dir/cse.cpp.o"
+  "CMakeFiles/dpmerge_transform.dir/cse.cpp.o.d"
+  "CMakeFiles/dpmerge_transform.dir/rebalance.cpp.o"
+  "CMakeFiles/dpmerge_transform.dir/rebalance.cpp.o.d"
+  "CMakeFiles/dpmerge_transform.dir/width_prune.cpp.o"
+  "CMakeFiles/dpmerge_transform.dir/width_prune.cpp.o.d"
+  "libdpmerge_transform.a"
+  "libdpmerge_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpmerge_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

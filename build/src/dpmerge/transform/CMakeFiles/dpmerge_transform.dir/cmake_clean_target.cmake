@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpmerge_transform.a"
+)

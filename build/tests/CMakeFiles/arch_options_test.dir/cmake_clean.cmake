@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_options_test.dir/arch_options_test.cpp.o"
+  "CMakeFiles/arch_options_test.dir/arch_options_test.cpp.o.d"
+  "arch_options_test"
+  "arch_options_test.pdb"
+  "arch_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/const_fold_test.cpp" "tests/CMakeFiles/const_fold_test.dir/const_fold_test.cpp.o" "gcc" "tests/CMakeFiles/const_fold_test.dir/const_fold_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dpmerge/transform/CMakeFiles/dpmerge_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpmerge/frontend/CMakeFiles/dpmerge_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpmerge/formal/CMakeFiles/dpmerge_formal.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpmerge/synth/CMakeFiles/dpmerge_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpmerge/cluster/CMakeFiles/dpmerge_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpmerge/analysis/CMakeFiles/dpmerge_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpmerge/dfg/CMakeFiles/dpmerge_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpmerge/netlist/CMakeFiles/dpmerge_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpmerge/support/CMakeFiles/dpmerge_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/const_fold_test.dir/const_fold_test.cpp.o"
+  "CMakeFiles/const_fold_test.dir/const_fold_test.cpp.o.d"
+  "const_fold_test"
+  "const_fold_test.pdb"
+  "const_fold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/const_fold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

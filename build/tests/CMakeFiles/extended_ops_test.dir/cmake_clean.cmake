@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_ops_test.dir/extended_ops_test.cpp.o"
+  "CMakeFiles/extended_ops_test.dir/extended_ops_test.cpp.o.d"
+  "extended_ops_test"
+  "extended_ops_test.pdb"
+  "extended_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

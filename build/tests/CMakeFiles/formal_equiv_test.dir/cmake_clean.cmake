@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formal_equiv_test.dir/formal_equiv_test.cpp.o"
+  "CMakeFiles/formal_equiv_test.dir/formal_equiv_test.cpp.o.d"
+  "formal_equiv_test"
+  "formal_equiv_test.pdb"
+  "formal_equiv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formal_equiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

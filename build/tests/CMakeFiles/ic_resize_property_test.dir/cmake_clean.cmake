@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ic_resize_property_test.dir/ic_resize_property_test.cpp.o"
+  "CMakeFiles/ic_resize_property_test.dir/ic_resize_property_test.cpp.o.d"
+  "ic_resize_property_test"
+  "ic_resize_property_test.pdb"
+  "ic_resize_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ic_resize_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ic_resize_property_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/info_content_test.dir/info_content_test.cpp.o"
+  "CMakeFiles/info_content_test.dir/info_content_test.cpp.o.d"
+  "info_content_test"
+  "info_content_test.pdb"
+  "info_content_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/info_content_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression_lock_test.dir/regression_lock_test.cpp.o"
+  "CMakeFiles/regression_lock_test.dir/regression_lock_test.cpp.o.d"
+  "regression_lock_test"
+  "regression_lock_test.pdb"
+  "regression_lock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

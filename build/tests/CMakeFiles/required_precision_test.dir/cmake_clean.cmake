@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/required_precision_test.dir/required_precision_test.cpp.o"
+  "CMakeFiles/required_precision_test.dir/required_precision_test.cpp.o.d"
+  "required_precision_test"
+  "required_precision_test.pdb"
+  "required_precision_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/required_precision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_flow_test.dir/synth_flow_test.cpp.o"
+  "CMakeFiles/synth_flow_test.dir/synth_flow_test.cpp.o.d"
+  "synth_flow_test"
+  "synth_flow_test.pdb"
+  "synth_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/width_prune_test.dir/width_prune_test.cpp.o"
+  "CMakeFiles/width_prune_test.dir/width_prune_test.cpp.o.d"
+  "width_prune_test"
+  "width_prune_test.pdb"
+  "width_prune_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/width_prune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
