@@ -7,6 +7,7 @@
 // and the effect of the final-adder architecture (ripple vs Kogge-Stone).
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_util.h"
 #include "dpmerge/cluster/clusterer.h"
@@ -38,25 +39,39 @@ int main() {
       {"D full new-merge flow", true, true, true},
   };
 
-  for (const Config& cfg : configs) {
-    std::vector<std::string> cells{cfg.name};
-    for (const auto& tc : designs::all_testcases()) {
-      dfg::Graph g = tc.graph;
-      cluster::ClusterResult cr;
-      if (cfg.refine_feedback) {
-        cr = synth::prepare_new_merge(g);
-      } else {
-        if (cfg.normalize) transform::normalize_widths(g);
-        cluster::ClusterOptions copt;
-        copt.iterate_rebalancing = cfg.iterate;
-        cr = cluster::cluster_maximal(g, copt);
-      }
-      const auto net =
-          synth::synthesize_partition(g, cr.partition, cr.info, {});
-      const auto rep = sta.analyze(net);
-      cells.push_back(std::to_string(cr.partition.num_clusters()) + " / " +
-                      fmt(rep.longest_path_ns) + " / " +
-                      fmt(sta.area_scaled(net), 1));
+  // Each (config x design) cell is independent; run them on the pool and
+  // fill a pre-sized grid so row/column order stays deterministic.
+  const auto cases = designs::all_testcases();
+  const int nc = static_cast<int>(std::size(configs));
+  const int nd = static_cast<int>(cases.size());
+  std::vector<std::vector<std::string>> grid(
+      static_cast<std::size_t>(nc),
+      std::vector<std::string>(static_cast<std::size_t>(nd)));
+  bench::parallel_for_cells(nc * nd, [&](int cell) {
+    const Config& cfg = configs[cell / nd];
+    const auto& tc = cases[static_cast<std::size_t>(cell % nd)];
+    dfg::Graph g = tc.graph;
+    cluster::ClusterResult cr;
+    if (cfg.refine_feedback) {
+      cr = synth::prepare_new_merge(g);
+    } else {
+      if (cfg.normalize) transform::normalize_widths(g);
+      cluster::ClusterOptions copt;
+      copt.iterate_rebalancing = cfg.iterate;
+      cr = cluster::cluster_maximal(g, copt);
+    }
+    const auto net = synth::synthesize_partition(g, cr.partition, cr.info, {});
+    const auto rep = sta.analyze(net);
+    grid[static_cast<std::size_t>(cell / nd)]
+        [static_cast<std::size_t>(cell % nd)] =
+            std::to_string(cr.partition.num_clusters()) + " / " +
+            fmt(rep.longest_path_ns) + " / " + fmt(sta.area_scaled(net), 1);
+  });
+  for (int c = 0; c < nc; ++c) {
+    std::vector<std::string> cells{configs[c].name};
+    for (int d = 0; d < nd; ++d) {
+      cells.push_back(grid[static_cast<std::size_t>(c)]
+                          [static_cast<std::size_t>(d)]);
     }
     t.add_row(std::move(cells));
   }
@@ -69,21 +84,23 @@ int main() {
       " area):\n\n");
   {
     bench::Table t3({"config", "D1", "D2", "D3", "D4", "D5"});
-    std::vector<std::string> plain{"no-merge flow"};
-    std::vector<std::string> reb{"no-merge + rebalance"};
-    for (const auto& tc : designs::all_testcases()) {
-      const auto before = synth::run_flow(tc.graph, synth::Flow::NoMerge);
-      const auto balanced = transform::rebalance_clusters(tc.graph);
-      const auto after = synth::run_flow(balanced, synth::Flow::NoMerge);
-      const auto rb = sta.analyze(before.net);
-      const auto ra = sta.analyze(after.net);
-      plain.push_back(std::to_string(before.partition.num_clusters()) +
-                      " / " + fmt(rb.longest_path_ns) + " / " +
-                      fmt(sta.area_scaled(before.net), 1));
-      reb.push_back(std::to_string(after.partition.num_clusters()) + " / " +
-                    fmt(ra.longest_path_ns) + " / " +
-                    fmt(sta.area_scaled(after.net), 1));
-    }
+    std::vector<std::string> plain(static_cast<std::size_t>(nd));
+    std::vector<std::string> reb(static_cast<std::size_t>(nd));
+    // Cell = (design, {plain, rebalanced}).
+    bench::parallel_for_cells(nd * 2, [&](int cell) {
+      const auto& tc = cases[static_cast<std::size_t>(cell / 2)];
+      const bool rebalance = (cell % 2) == 1;
+      const dfg::Graph g =
+          rebalance ? transform::rebalance_clusters(tc.graph) : tc.graph;
+      const auto res = synth::run_flow(g, synth::Flow::NoMerge);
+      const auto rep = sta.analyze(res.net);
+      auto& slot = (rebalance ? reb : plain)[static_cast<std::size_t>(cell / 2)];
+      slot = std::to_string(res.partition.num_clusters()) + " / " +
+             fmt(rep.longest_path_ns) + " / " +
+             fmt(sta.area_scaled(res.net), 1);
+    });
+    plain.insert(plain.begin(), "no-merge flow");
+    reb.insert(reb.begin(), "no-merge + rebalance");
     t3.add_row(std::move(plain));
     t3.add_row(std::move(reb));
     t3.print();
@@ -91,16 +108,26 @@ int main() {
 
   std::printf("\nFinal-adder architecture (full flow):\n\n");
   bench::Table t2({"adder", "D1", "D2", "D3", "D4", "D5"});
-  for (synth::AdderArch arch :
-       {synth::AdderArch::Ripple, synth::AdderArch::KoggeStone}) {
-    std::vector<std::string> cells{std::string(synth::to_string(arch))};
-    for (const auto& tc : designs::all_testcases()) {
-      synth::SynthOptions opt;
-      opt.adder = arch;
-      const auto res = synth::run_flow(tc.graph, synth::Flow::NewMerge, opt);
-      const auto rep = sta.analyze(res.net);
-      cells.push_back(fmt(rep.longest_path_ns) + " ns / " +
-                      fmt(sta.area_scaled(res.net), 1));
+  const synth::AdderArch archs[] = {synth::AdderArch::Ripple,
+                                    synth::AdderArch::KoggeStone};
+  std::vector<std::vector<std::string>> arch_grid(
+      2, std::vector<std::string>(static_cast<std::size_t>(nd)));
+  bench::parallel_for_cells(2 * nd, [&](int cell) {
+    synth::SynthOptions opt;
+    opt.adder = archs[cell / nd];
+    const auto& tc = cases[static_cast<std::size_t>(cell % nd)];
+    const auto res = synth::run_flow(tc.graph, synth::Flow::NewMerge, opt);
+    const auto rep = sta.analyze(res.net);
+    arch_grid[static_cast<std::size_t>(cell / nd)]
+             [static_cast<std::size_t>(cell % nd)] =
+                 fmt(rep.longest_path_ns) + " ns / " +
+                 fmt(sta.area_scaled(res.net), 1);
+  });
+  for (int a = 0; a < 2; ++a) {
+    std::vector<std::string> cells{std::string(synth::to_string(archs[a]))};
+    for (int d = 0; d < nd; ++d) {
+      cells.push_back(arch_grid[static_cast<std::size_t>(a)]
+                               [static_cast<std::size_t>(d)]);
     }
     t2.add_row(std::move(cells));
   }

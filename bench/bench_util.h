@@ -1,10 +1,47 @@
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace dpmerge::bench {
+
+/// Runs `fn(cell)` for cell in [0, n) on a small std::thread pool
+/// (hardware concurrency by default; single-threaded fallback when the
+/// machine reports one core). The table harnesses use this to spread their
+/// independent (design x flow) cells.
+///
+/// Determinism rule: cells must be pure functions of their index that write
+/// into pre-sized result slots, and any randomness a cell needs must come
+/// from an Rng seeded per cell (never shared across cells), so the thread
+/// schedule cannot change a single reported number (DESIGN.md,
+/// "Performance engineering").
+inline void parallel_for_cells(int n, const std::function<void(int)>& fn,
+                               int threads = 0) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, n);
+  if (threads <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+}
 
 /// Minimal fixed-width table printer for the table/figure harnesses, so the
 /// bench output visually matches the paper's rows.

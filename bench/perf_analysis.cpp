@@ -11,8 +11,13 @@
 #include "dpmerge/analysis/info_content.h"
 #include "dpmerge/analysis/required_precision.h"
 #include "dpmerge/cluster/clusterer.h"
+#include "dpmerge/designs/kernels.h"
 #include "dpmerge/dfg/random_graph.h"
+#include "dpmerge/netlist/packed_sim.h"
+#include "dpmerge/netlist/sim.h"
+#include "dpmerge/netlist/sta.h"
 #include "dpmerge/synth/flow.h"
+#include "dpmerge/synth/verify.h"
 #include "dpmerge/transform/width_prune.h"
 
 namespace {
@@ -85,6 +90,113 @@ void BM_FullFlow(benchmark::State& state) {
 BENCHMARK(BM_FullFlow)
     ->ArgsProduct({{64, 256, 1024}, {0, 1, 2}})
     ->Unit(benchmark::kMillisecond);
+
+/// The largest DSP kernel by synthesized gate count under the full
+/// new-merge flow — the verification-heavy workload of the acceptance
+/// criteria. Synthesized once and shared by the sim/verify benches.
+struct LargestKernel {
+  std::string name;
+  dfg::Graph graph;
+  netlist::Netlist net;
+};
+
+const LargestKernel& largest_kernel() {
+  static const LargestKernel k = [] {
+    LargestKernel best;
+    int best_gates = -1;
+    for (auto& kern : designs::dsp_kernels()) {
+      auto res = synth::run_flow(kern.graph, synth::Flow::NewMerge);
+      if (res.net.gate_count() > best_gates) {
+        best_gates = res.net.gate_count();
+        best.name = kern.name;
+        best.graph = kern.graph;
+        best.net = std::move(res.net);
+      }
+    }
+    return best;
+  }();
+  return k;
+}
+
+// 64 stimulus vectors through the netlist: scalar (64 topological passes,
+// arg 0) vs word-parallel (one packed pass, arg 1).
+void BM_PackedSim(benchmark::State& state) {
+  const auto& k = largest_kernel();
+  const bool packed = state.range(0) != 0;
+  Rng rng(11);
+  std::vector<std::vector<BitVector>> stimuli(netlist::PackedSimulator::kLanes);
+  for (auto& lane : stimuli) {
+    for (const auto& bus : k.net.inputs()) {
+      lane.push_back(rng.bits(bus.signal.width()));
+    }
+  }
+  netlist::Simulator scalar(k.net);
+  netlist::PackedSimulator vec(k.net);
+  for (auto _ : state) {
+    if (packed) {
+      benchmark::DoNotOptimize(vec.run_batch(stimuli));
+    } else {
+      for (const auto& lane : stimuli) {
+        benchmark::DoNotOptimize(scalar.run(lane));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          netlist::PackedSimulator::kLanes);
+  state.SetLabel(k.name + (packed ? "/packed" : "/scalar"));
+}
+BENCHMARK(BM_PackedSim)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+// Full Monte-Carlo equivalence check, 256 trials: the scalar oracle
+// (arg 0) vs the lane-batched production path (arg 1).
+void BM_VerifyNetlist(benchmark::State& state) {
+  const auto& k = largest_kernel();
+  const bool packed = state.range(0) != 0;
+  for (auto _ : state) {
+    Rng rng(42);  // per-iteration reseed: identical stimulus sequence
+    const bool ok =
+        packed ? synth::verify_netlist(k.net, k.graph, 256, rng)
+               : synth::verify_netlist_scalar(k.net, k.graph, 256, rng);
+    if (!ok) state.SkipWithError("verification mismatch");
+  }
+  state.SetLabel(k.name + (packed ? "/packed" : "/scalar"));
+}
+BENCHMARK(BM_VerifyNetlist)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// The timing-update kernel of the optimizer's sizing loop: apply a
+// pseudo-random drive change, then re-time — full Sta::analyze (arg 0) vs
+// IncrementalSta forward-cone update (arg 1).
+void BM_TimingOptIncremental(benchmark::State& state) {
+  const auto& k = largest_kernel();
+  netlist::Netlist net = k.net;  // mutated copy
+  const auto& lib = netlist::CellLibrary::tsmc025();
+  const bool incremental = state.range(0) != 0;
+  Rng rng(7);
+  std::vector<std::pair<int, int>> changes;  // (gate, new drive)
+  for (int i = 0; i < 256; ++i) {
+    changes.emplace_back(
+        static_cast<int>(rng.uniform(0, net.gate_count() - 1)),
+        static_cast<int>(rng.uniform(0, netlist::kDriveLevels - 1)));
+  }
+  netlist::Sta sta(lib);
+  netlist::IncrementalSta ista(net, lib);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [gi, drive] = changes[i++ % changes.size()];
+    net.mutable_gates()[static_cast<std::size_t>(gi)].drive = drive;
+    if (incremental) {
+      ista.update_drive_change(netlist::GateId{gi});
+      benchmark::DoNotOptimize(ista.longest_path_ns());
+    } else {
+      benchmark::DoNotOptimize(sta.analyze(net).longest_path_ns);
+    }
+  }
+  state.SetLabel(k.name + (incremental ? "/incremental" : "/full"));
+}
+BENCHMARK(BM_TimingOptIncremental)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_HuffmanRebalancing(benchmark::State& state) {
   std::vector<analysis::Addend> addends;

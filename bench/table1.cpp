@@ -28,19 +28,21 @@ int main() {
     double area[3];
     int clusters[3];
   };
-  std::vector<Row> rows;
-  for (const auto& tc : cases) {
-    Row r{};
-    int i = 0;
-    for (Flow f : {Flow::NoMerge, Flow::OldMerge, Flow::NewMerge}) {
-      const auto res = synth::run_flow(tc.graph, f);
-      r.delay[i] = sta.analyze(res.net).longest_path_ns;
-      r.area[i] = sta.area_scaled(res.net);
-      r.clusters[i] = res.partition.num_clusters();
-      ++i;
-    }
-    rows.push_back(r);
-  }
+  // One (design x flow) cell per pool task; each cell writes its own slot,
+  // so the thread schedule cannot affect the printed table.
+  std::vector<Row> rows(cases.size());
+  const Flow flows[] = {Flow::NoMerge, Flow::OldMerge, Flow::NewMerge};
+  bench::parallel_for_cells(
+      static_cast<int>(cases.size()) * 3, [&](int cell) {
+        const int ci = cell / 3;
+        const int fi = cell % 3;
+        const auto res = synth::run_flow(
+            cases[static_cast<std::size_t>(ci)].graph, flows[fi]);
+        Row& r = rows[static_cast<std::size_t>(ci)];
+        r.delay[fi] = sta.analyze(res.net).longest_path_ns;
+        r.area[fi] = sta.area_scaled(res.net);
+        r.clusters[fi] = res.partition.num_clusters();
+      });
 
   std::printf("Table 1: post-synthesis longest path delay and area\n");
   std::printf("(delay in ns; area in library units scaled by 1/100)\n\n");

@@ -65,6 +65,30 @@ bool eval_cell(CellType t, const std::vector<bool>& in) {
   return false;
 }
 
+std::uint64_t eval_cell_packed(CellType t, const std::uint64_t* in) {
+  switch (t) {
+    case CellType::INV:
+      return ~in[0];
+    case CellType::BUF:
+      return in[0];
+    case CellType::NAND2:
+      return ~(in[0] & in[1]);
+    case CellType::NOR2:
+      return ~(in[0] | in[1]);
+    case CellType::AND2:
+      return in[0] & in[1];
+    case CellType::OR2:
+      return in[0] | in[1];
+    case CellType::XOR2:
+      return in[0] ^ in[1];
+    case CellType::XNOR2:
+      return ~(in[0] ^ in[1]);
+    case CellType::MUX2:
+      return (in[0] & ~in[2]) | (in[1] & in[2]);
+  }
+  return 0;
+}
+
 namespace {
 
 /// X1 baseline for a cell; X2/X4 scale resistance down and area/cap up.

@@ -28,6 +28,12 @@ std::string_view to_string(CellType t);
 /// Evaluates the boolean function of a cell.
 bool eval_cell(CellType t, const std::vector<bool>& inputs);
 
+/// Word-parallel counterpart of `eval_cell`: evaluates the cell on 64
+/// independent stimulus lanes at once. `in` points at
+/// `cell_input_count(t)` words; bit L of every word belongs to lane L, and
+/// bit L of the result is the cell output in that lane.
+std::uint64_t eval_cell_packed(CellType t, const std::uint64_t* in);
+
 /// One drive-strength variant of a cell. The delay model is the standard
 /// linear one: pin-to-pin delay = intrinsic + drive_resistance * load, where
 /// load is the sum of the fanout pins' input capacitances (normalised units:

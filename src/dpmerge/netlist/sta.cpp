@@ -1,16 +1,17 @@
 #include "dpmerge/netlist/sta.h"
 
 #include <algorithm>
+#include <functional>
+#include <queue>
 
 namespace dpmerge::netlist {
 
-double Sta::load_on(const Netlist& n, NetId net) const {
-  double load = 0.0;
+std::vector<double> Sta::net_loads(const Netlist& n) const {
+  std::vector<double> load(static_cast<std::size_t>(n.net_count()), 0.0);
   for (const Gate& g : n.gates()) {
     for (NetId in : g.inputs) {
-      if (in == net) {
-        load += lib_.variant(g.type, g.drive).input_cap;
-      }
+      load[static_cast<std::size_t>(in.value)] +=
+          lib_.variant(g.type, g.drive).input_cap;
     }
   }
   return load;
@@ -21,15 +22,7 @@ TimingReport Sta::analyze(const Netlist& n) const {
   rep.arrival.assign(static_cast<std::size_t>(n.net_count()), 0.0);
   std::vector<NetId> from(static_cast<std::size_t>(n.net_count()), NetId{});
 
-  // Precompute per-net load in one pass (load_on is O(gates) and would make
-  // this quadratic).
-  std::vector<double> load(static_cast<std::size_t>(n.net_count()), 0.0);
-  for (const Gate& g : n.gates()) {
-    for (NetId in : g.inputs) {
-      load[static_cast<std::size_t>(in.value)] +=
-          lib_.variant(g.type, g.drive).input_cap;
-    }
-  }
+  const std::vector<double> load = net_loads(n);
 
   for (GateId gid : n.topo_gates()) {
     const Gate& g = n.gates()[static_cast<std::size_t>(gid.value)];
@@ -78,6 +71,149 @@ double Sta::area(const Netlist& n) const {
     a += lib_.variant(g.type, g.drive).area;
   }
   return a;
+}
+
+IncrementalSta::IncrementalSta(const Netlist& n, const CellLibrary& lib)
+    : net_(n), lib_(lib) {
+  rebuild();
+}
+
+void IncrementalSta::rebuild() {
+  const std::size_t nets = static_cast<std::size_t>(net_.net_count());
+  const std::size_t gates = net_.gates().size();
+
+  topo_ = net_.topo_gates();
+  topo_pos_.assign(gates, -1);
+  for (std::size_t p = 0; p < topo_.size(); ++p) {
+    topo_pos_[static_cast<std::size_t>(topo_[p].value)] = static_cast<int>(p);
+  }
+
+  // Reader lists and loads, both accumulated in gate order so per-net sums
+  // are bit-identical (FP addition order) to Sta::net_loads.
+  reader_of_.assign(nets, {});
+  load_.assign(nets, 0.0);
+  for (std::size_t gi = 0; gi < gates; ++gi) {
+    const Gate& g = net_.gates()[gi];
+    for (NetId in : g.inputs) {
+      reader_of_[static_cast<std::size_t>(in.value)].push_back(
+          static_cast<int>(gi));
+      load_[static_cast<std::size_t>(in.value)] +=
+          lib_.variant(g.type, g.drive).input_cap;
+    }
+  }
+
+  arrival_.assign(nets, 0.0);
+  from_.assign(nets, NetId{});
+  for (GateId gid : topo_) {
+    recompute_gate(gid.value);
+  }
+
+  output_bits_.clear();
+  for (const Bus& b : net_.outputs()) {
+    for (NetId bit : b.signal.bits) output_bits_.push_back(bit);
+  }
+  refresh_longest();
+
+  queued_.assign(gates, 0);
+}
+
+void IncrementalSta::recompute_gate(int gate_idx) {
+  const Gate& g = net_.gates()[static_cast<std::size_t>(gate_idx)];
+  const CellVariant& v = lib_.variant(g.type, g.drive);
+  const double d =
+      v.intrinsic_ns +
+      v.drive_res_ns * load_[static_cast<std::size_t>(g.output.value)];
+  double worst = 0.0;
+  NetId worst_in{};
+  for (NetId in : g.inputs) {
+    const double a = arrival_[static_cast<std::size_t>(in.value)];
+    if (a >= worst) {  // same tie-break as Sta::analyze: last input wins
+      worst = a;
+      worst_in = in;
+    }
+  }
+  arrival_[static_cast<std::size_t>(g.output.value)] = worst + d;
+  from_[static_cast<std::size_t>(g.output.value)] = worst_in;
+}
+
+void IncrementalSta::refresh_longest() {
+  longest_ = 0.0;
+  longest_net_ = NetId{};
+  for (NetId bit : output_bits_) {
+    const double a = arrival_[static_cast<std::size_t>(bit.value)];
+    if (a > longest_) {
+      longest_ = a;
+      longest_net_ = bit;
+    }
+  }
+}
+
+void IncrementalSta::update_drive_change(GateId g) {
+  const Gate& gate = net_.gates()[static_cast<std::size_t>(g.value)];
+
+  // Min-heap over topo positions so cone gates are re-evaluated in
+  // dependency order (each gate at most once per update).
+  std::priority_queue<int, std::vector<int>, std::greater<int>> pq;
+  auto enqueue = [&](int gate_idx) {
+    if (!queued_[static_cast<std::size_t>(gate_idx)]) {
+      queued_[static_cast<std::size_t>(gate_idx)] = 1;
+      pq.push(topo_pos_[static_cast<std::size_t>(gate_idx)]);
+    }
+  };
+
+  // The resized gate's input pins changed capacitance: recompute those
+  // nets' loads from their reader lists (same accumulation order as a full
+  // pass, so no delta drift) and reseed the worklist with their drivers,
+  // whose delays depend on those loads.
+  for (NetId in : gate.inputs) {
+    const std::size_t ni = static_cast<std::size_t>(in.value);
+    double l = 0.0;
+    // One reader entry per reading *pin*, in full-pass accumulation order.
+    for (int reader : reader_of_[ni]) {
+      const Gate& r = net_.gates()[static_cast<std::size_t>(reader)];
+      l += lib_.variant(r.type, r.drive).input_cap;
+    }
+    load_[ni] = l;
+    if (const Gate* drv = net_.driver(in)) enqueue(drv->id.value);
+  }
+  // The gate itself: its drive resistance changed.
+  enqueue(g.value);
+
+  while (!pq.empty()) {
+    const int pos = pq.top();
+    pq.pop();
+    const int gi = topo_[static_cast<std::size_t>(pos)].value;
+    queued_[static_cast<std::size_t>(gi)] = 0;
+    const NetId out = net_.gates()[static_cast<std::size_t>(gi)].output;
+    const double before = arrival_[static_cast<std::size_t>(out.value)];
+    recompute_gate(gi);
+    if (arrival_[static_cast<std::size_t>(out.value)] != before) {
+      for (int reader : reader_of_[static_cast<std::size_t>(out.value)]) {
+        enqueue(reader);
+      }
+    }
+  }
+
+  refresh_longest();
+}
+
+std::vector<NetId> IncrementalSta::critical_path() const {
+  std::vector<NetId> path;
+  for (NetId cur = longest_net_; cur.valid();
+       cur = from_[static_cast<std::size_t>(cur.value)]) {
+    path.push_back(cur);
+    if (!net_.driver(cur)) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+TimingReport IncrementalSta::report() const {
+  TimingReport rep;
+  rep.longest_path_ns = longest_;
+  rep.arrival = arrival_;
+  rep.critical_path = critical_path();
+  return rep;
 }
 
 }  // namespace dpmerge::netlist

@@ -26,8 +26,10 @@ class Sta {
 
   TimingReport analyze(const Netlist& n) const;
 
-  /// Capacitive load on a gate's output net: sum of reader-pin input caps.
-  double load_on(const Netlist& n, NetId net) const;
+  /// Capacitive load per net id (sum of reader-pin input caps), computed in
+  /// one pass over the gates. Callers that need several nets' loads must
+  /// use this rather than probing nets one at a time.
+  std::vector<double> net_loads(const Netlist& n) const;
 
   /// Total cell area.
   double area(const Netlist& n) const;
@@ -37,6 +39,67 @@ class Sta {
 
  private:
   const CellLibrary& lib_;
+};
+
+/// Incremental arrival-time maintenance for gate-sizing loops. A full
+/// `Sta::analyze` is O(gates) per query; resizing one gate only perturbs
+///   (a) the loads of that gate's input nets (its input caps changed), and
+///   (b) delays/arrivals in the forward cone of the gate and of its input
+///       nets' drivers,
+/// so `update_drive_change` walks a topologically-ordered worklist over
+/// exactly that cone and stops where arrivals (and critical-path `from`
+/// links) settle. Invariants maintained between calls:
+///   - `load_[n]`    == sum of reader-pin input caps of net n
+///   - `arrival_[n]` == Sta::analyze arrival of net n
+///   - `from_[n]`    == latest-arriving input of n's driver (ties broken
+///                      identically to Sta::analyze: last input wins)
+/// Any structural edit (adding gates, rewiring inputs) invalidates the
+/// state; call `rebuild()` afterwards.
+class IncrementalSta {
+ public:
+  IncrementalSta(const Netlist& n, const CellLibrary& lib);
+
+  /// Recomputes everything from scratch (use after topology changes).
+  void rebuild();
+
+  /// Call after changing gate `g`'s drive. Recomputes the loads of `g`'s
+  /// input nets from their reader lists and re-propagates arrivals over
+  /// the affected forward cone only.
+  void update_drive_change(GateId g);
+
+  double longest_path_ns() const { return longest_; }
+  double arrival(NetId n) const {
+    return arrival_[static_cast<std::size_t>(n.value)];
+  }
+  const std::vector<double>& arrivals() const { return arrival_; }
+  double load(NetId n) const {
+    return load_[static_cast<std::size_t>(n.value)];
+  }
+
+  /// Critical path traced on demand from the latest-arriving output bit.
+  std::vector<NetId> critical_path() const;
+
+  /// Full report in the `Sta::analyze` format.
+  TimingReport report() const;
+
+ private:
+  void recompute_gate(int gate_idx);
+  void refresh_longest();
+
+  const Netlist& net_;
+  const CellLibrary& lib_;
+  std::vector<GateId> topo_;
+  std::vector<int> topo_pos_;                // gate idx -> topo position
+  std::vector<std::vector<int>> reader_of_;  // net -> reader gate idxs
+  std::vector<double> arrival_;              // per net
+  std::vector<double> load_;                 // per net
+  std::vector<NetId> from_;                  // per net: critical predecessor
+  std::vector<NetId> output_bits_;
+  double longest_ = 0.0;
+  NetId longest_net_{};
+
+  // Worklist scratch (persisted to avoid reallocation per update).
+  std::vector<char> queued_;  // per gate
 };
 
 }  // namespace dpmerge::netlist

@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 namespace dpmerge::opt {
 
 using netlist::CellVariant;
 using netlist::Gate;
 using netlist::GateId;
+using netlist::IncrementalSta;
 using netlist::NetId;
 using netlist::Netlist;
 using netlist::Sta;
@@ -22,32 +25,55 @@ std::string TimingOptResult::to_string() const {
   return os.str();
 }
 
+namespace {
+
+void cross_check(const Sta& sta, const Netlist& net,
+                 const IncrementalSta& ista) {
+  const auto full = sta.analyze(net);
+  if (std::abs(full.longest_path_ns - ista.longest_path_ns()) > 1e-9) {
+    throw std::logic_error("incremental STA longest path diverged from full");
+  }
+  for (std::size_t i = 0; i < full.arrival.size(); ++i) {
+    if (std::abs(full.arrival[i] - ista.arrivals()[i]) > 1e-9) {
+      throw std::logic_error("incremental STA arrival diverged on net " +
+                             std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+
 TimingOptResult TimingOptimizer::optimize(Netlist& net,
                                           const TimingOptOptions& opt) const {
   const auto t0 = std::chrono::steady_clock::now();
   Sta sta(lib_);
+  IncrementalSta ista(net, lib_);
   TimingOptResult res;
 
-  auto rep = sta.analyze(net);
-  res.initial_ns = rep.longest_path_ns;
+  res.initial_ns = ista.longest_path_ns();
   res.initial_area = sta.area_scaled(net);
+
+  auto check = [&] {
+    if (opt.cross_check_sta) cross_check(sta, net, ista);
+  };
 
   std::set<int> locked_upsize;   // gate ids where upsizing didn't help
   std::set<int> locked_buffer;   // nets already buffer-split
 
-  while (rep.longest_path_ns > opt.target_ns && res.moves < opt.max_moves) {
+  while (ista.longest_path_ns() > opt.target_ns && res.moves < opt.max_moves) {
+    const auto path = ista.critical_path();
+
     // Candidate 1: upsize the critical-path driver with the largest
     // estimated gain (resistance drop times output load).
     GateId best_gate{-1};
     double best_gain = 0.0;
-    for (NetId pn : rep.critical_path) {
+    for (NetId pn : path) {
       const Gate* d = net.driver(pn);
       if (!d || d->drive + 1 >= netlist::kDriveLevels) continue;
       if (locked_upsize.count(d->id.value)) continue;
       const CellVariant& cur = lib_.variant(d->type, d->drive);
       const CellVariant& up = lib_.variant(d->type, d->drive + 1);
-      const double gain =
-          (cur.drive_res_ns - up.drive_res_ns) * sta.load_on(net, pn);
+      const double gain = (cur.drive_res_ns - up.drive_res_ns) * ista.load(pn);
       if (gain > best_gain) {
         best_gain = gain;
         best_gate = d->id;
@@ -57,14 +83,17 @@ TimingOptResult TimingOptimizer::optimize(Netlist& net,
     bool applied = false;
     if (best_gate.value >= 0) {
       Gate& g = net.mutable_gates()[static_cast<std::size_t>(best_gate.value)];
+      const double before_ns = ista.longest_path_ns();
       ++g.drive;
-      const auto after = sta.analyze(net);
-      if (after.longest_path_ns < rep.longest_path_ns - 1e-9) {
-        rep = after;
+      ista.update_drive_change(g.id);
+      check();
+      if (ista.longest_path_ns() < before_ns - 1e-9) {
         ++res.moves;
         applied = true;
       } else {
         --g.drive;  // revert: the larger input cap hurt upstream more
+        ista.update_drive_change(g.id);
+        check();
         locked_upsize.insert(best_gate.value);
       }
     }
@@ -75,9 +104,9 @@ TimingOptResult TimingOptimizer::optimize(Netlist& net,
       // the other readers behind a buffer.
       NetId worst{-1};
       double worst_load = opt.buffer_load_threshold;
-      for (NetId pn : rep.critical_path) {
+      for (NetId pn : path) {
         if (locked_buffer.count(pn.value) || net.is_const(pn)) continue;
-        const double l = sta.load_on(net, pn);
+        const double l = ista.load(pn);
         if (l > worst_load) {
           worst_load = l;
           worst = pn;
@@ -88,12 +117,13 @@ TimingOptResult TimingOptimizer::optimize(Netlist& net,
         // The critical successor is the gate driving the next net on the
         // path after `worst`.
         int keep_gate = -1;
-        for (std::size_t i = 0; i + 1 < rep.critical_path.size(); ++i) {
-          if (rep.critical_path[i] == worst) {
-            const Gate* nxt = net.driver(rep.critical_path[i + 1]);
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+          if (path[i] == worst) {
+            const Gate* nxt = net.driver(path[i + 1]);
             if (nxt) keep_gate = nxt->id.value;
           }
         }
+        const double before_ns = ista.longest_path_ns();
         const NetId buffered = net.buf(worst);
         int rewired = 0;
         for (Gate& g : net.mutable_gates()) {
@@ -106,16 +136,16 @@ TimingOptResult TimingOptimizer::optimize(Netlist& net,
             }
           }
         }
-        const auto after = sta.analyze(net);
-        if (rewired > 0 && after.longest_path_ns < rep.longest_path_ns - 1e-9) {
-          rep = after;
+        // Topology changed: incremental state is stale, rebuild from
+        // scratch (buffer moves are rare next to drive changes).
+        ista.rebuild();
+        check();
+        if (rewired > 0 && ista.longest_path_ns() < before_ns - 1e-9) {
           ++res.moves;
           applied = true;
-        } else {
-          // Keep the (harmless) buffer but restore critical wiring by
-          // accepting whichever timing resulted; mark and move on.
-          rep = after;
         }
+        // Otherwise keep the (harmless) buffer and whatever timing
+        // resulted; mark and move on.
       }
     }
 
@@ -124,7 +154,7 @@ TimingOptResult TimingOptimizer::optimize(Netlist& net,
       // Both move kinds exhausted without improvement this round; stop when
       // every upsize is locked and no bufferable net remains.
       bool any_left = false;
-      for (NetId pn : rep.critical_path) {
+      for (NetId pn : ista.critical_path()) {
         const Gate* d = net.driver(pn);
         if (d && d->drive + 1 < netlist::kDriveLevels &&
             !locked_upsize.count(d->id.value)) {
@@ -137,23 +167,25 @@ TimingOptResult TimingOptimizer::optimize(Netlist& net,
 
   // Area recovery: once the target is met, try to give back the sizing on
   // cells that no longer need it.
-  if (opt.recover_area && rep.longest_path_ns <= opt.target_ns) {
+  if (opt.recover_area && ista.longest_path_ns() <= opt.target_ns) {
     for (Gate& g : net.mutable_gates()) {
       while (g.drive > 0) {
         --g.drive;
-        const auto after = sta.analyze(net);
-        if (after.longest_path_ns <= opt.target_ns) {
-          rep = after;
+        ista.update_drive_change(g.id);
+        check();
+        if (ista.longest_path_ns() <= opt.target_ns) {
           ++res.moves;
         } else {
           ++g.drive;
+          ista.update_drive_change(g.id);
+          check();
           break;
         }
       }
     }
   }
 
-  res.final_ns = rep.longest_path_ns;
+  res.final_ns = ista.longest_path_ns();
   res.final_area = sta.area_scaled(net);
   res.met_target = res.final_ns <= opt.target_ns;
   res.runtime_sec =

@@ -11,8 +11,10 @@ namespace dpmerge::opt {
 /// optimiser of the paper's Table 2 (see DESIGN.md §1): iteratively improves
 /// the longest path toward a target delay by
 ///   (a) upsizing cells on the critical path (X1 -> X2 -> X4), and
-///   (b) buffering heavily loaded critical nets,
-/// re-running full static timing after each accepted move. Runtime therefore
+///   (b) buffering heavily loaded critical nets.
+/// Timing is maintained incrementally (`netlist::IncrementalSta`): a drive
+/// change re-propagates arrivals over the affected forward cone only; only
+/// topology-changing buffer moves pay for a full rebuild. Runtime therefore
 /// grows with netlist size and with the distance from the target — the
 /// property Table 2 measures (smaller, faster initial netlists need far less
 /// optimisation effort).
@@ -25,6 +27,10 @@ struct TimingOptOptions {
   /// and shrink any whose downsizing keeps the target met (area recovery —
   /// commercial optimisers always finish with this).
   bool recover_area = true;
+  /// Debug: after every incremental timing update, cross-check arrivals and
+  /// the longest path against a full `Sta::analyze` and throw
+  /// `std::logic_error` on divergence. Expensive — test/debug builds only.
+  bool cross_check_sta = false;
 };
 
 struct TimingOptResult {

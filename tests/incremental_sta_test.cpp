@@ -1,0 +1,146 @@
+// Property tests for IncrementalSta: after arbitrary sequences of drive
+// changes, arrivals, loads, the longest path and the critical path must
+// match a from-scratch Sta::analyze; rebuild() restores the invariants
+// after topology edits; and the optimizer's cross-check flag holds over a
+// full optimization run.
+
+#include "dpmerge/netlist/sta.h"
+
+#include <gtest/gtest.h>
+
+#include "dpmerge/designs/testcases.h"
+#include "dpmerge/opt/timing_opt.h"
+#include "dpmerge/support/rng.h"
+#include "dpmerge/synth/flow.h"
+
+namespace dpmerge {
+namespace {
+
+using netlist::CellLibrary;
+using netlist::GateId;
+using netlist::IncrementalSta;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::Sta;
+
+void expect_matches_full(const Netlist& net, const IncrementalSta& ista,
+                         const Sta& sta, const char* when) {
+  const auto full = sta.analyze(net);
+  EXPECT_NEAR(full.longest_path_ns, ista.longest_path_ns(), 1e-12) << when;
+  const auto loads = sta.net_loads(net);
+  for (int n = 0; n < net.net_count(); ++n) {
+    const auto ni = static_cast<std::size_t>(n);
+    ASSERT_NEAR(full.arrival[ni], ista.arrivals()[ni], 1e-12)
+        << when << " net " << n;
+    ASSERT_NEAR(loads[ni], ista.load(NetId{n}), 1e-12) << when << " net " << n;
+  }
+  EXPECT_EQ(full.critical_path, ista.critical_path()) << when;
+}
+
+TEST(IncrementalSta, MatchesFullAnalyzeAfterRandomDriveChanges) {
+  const auto& lib = CellLibrary::tsmc025();
+  Sta sta(lib);
+  Rng rng(31);
+  for (const auto& tc : designs::all_testcases()) {
+    auto flow = synth::run_flow(tc.graph, synth::Flow::NewMerge);
+    IncrementalSta ista(flow.net, lib);
+    expect_matches_full(flow.net, ista, sta, "initial");
+    for (int step = 0; step < 120; ++step) {
+      const int gi =
+          static_cast<int>(rng.uniform(0, flow.net.gate_count() - 1));
+      flow.net.mutable_gates()[static_cast<std::size_t>(gi)].drive =
+          static_cast<int>(rng.uniform(0, netlist::kDriveLevels - 1));
+      ista.update_drive_change(GateId{gi});
+      if (step % 10 == 0 || step > 110) {
+        expect_matches_full(flow.net, ista, sta, tc.name.c_str());
+      }
+    }
+    expect_matches_full(flow.net, ista, sta, "final");
+  }
+}
+
+TEST(IncrementalSta, RebuildRestoresInvariantsAfterTopologyEdit) {
+  const auto& lib = CellLibrary::tsmc025();
+  Sta sta(lib);
+  auto flow = synth::run_flow(designs::make_d1(), synth::Flow::OldMerge);
+  IncrementalSta ista(flow.net, lib);
+
+  // Buffer-split a multi-fanout net the way the optimizer does, then
+  // rebuild.
+  const auto loads = sta.net_loads(flow.net);
+  NetId worst{-1};
+  double worst_load = 0.0;
+  for (int n = 2; n < flow.net.net_count(); ++n) {
+    if (loads[static_cast<std::size_t>(n)] > worst_load) {
+      worst_load = loads[static_cast<std::size_t>(n)];
+      worst = NetId{n};
+    }
+  }
+  ASSERT_TRUE(worst.valid());
+  const NetId buffered = flow.net.buf(worst);
+  bool first = true;
+  for (auto& g : flow.net.mutable_gates()) {
+    if (g.output == buffered) continue;
+    for (NetId& in : g.inputs) {
+      if (in == worst) {
+        if (first) {
+          first = false;  // keep one reader on the original net
+        } else {
+          in = buffered;
+        }
+      }
+    }
+  }
+  ista.rebuild();
+  expect_matches_full(flow.net, ista, sta, "after rebuild");
+}
+
+TEST(IncrementalSta, DownsizeSequencesStayConsistent) {
+  // The area-recovery pattern: repeated down/up flips of the same gates.
+  const auto& lib = CellLibrary::tsmc025();
+  Sta sta(lib);
+  auto flow = synth::run_flow(designs::make_d3(), synth::Flow::NewMerge);
+  for (auto& g : flow.net.mutable_gates()) g.drive = netlist::kDriveLevels - 1;
+  IncrementalSta ista(flow.net, lib);
+  expect_matches_full(flow.net, ista, sta, "all X4");
+  for (auto& g : flow.net.mutable_gates()) {
+    --g.drive;
+    ista.update_drive_change(g.id);
+    ++g.drive;
+    ista.update_drive_change(g.id);
+    --g.drive;
+    ista.update_drive_change(g.id);
+  }
+  expect_matches_full(flow.net, ista, sta, "after recovery walk");
+}
+
+TEST(IncrementalSta, ReportMatchesAnalyzeFormat) {
+  const auto& lib = CellLibrary::tsmc025();
+  Sta sta(lib);
+  auto flow = synth::run_flow(designs::make_d2(), synth::Flow::NewMerge);
+  IncrementalSta ista(flow.net, lib);
+  const auto full = sta.analyze(flow.net);
+  const auto rep = ista.report();
+  EXPECT_EQ(full.critical_path, rep.critical_path);
+  EXPECT_NEAR(full.longest_path_ns, rep.longest_path_ns, 1e-12);
+  ASSERT_EQ(full.arrival.size(), rep.arrival.size());
+}
+
+TEST(TimingOpt, CrossCheckedOptimizationRunsClean) {
+  // With cross_check_sta on, every incremental update during a real
+  // optimization run is verified against a full analyze; a divergence
+  // throws and fails the test.
+  const auto& lib = CellLibrary::tsmc025();
+  auto flow = synth::run_flow(designs::make_d1(), synth::Flow::OldMerge);
+  Sta sta(lib);
+  opt::TimingOptimizer optimizer(lib);
+  opt::TimingOptOptions o;
+  o.target_ns = sta.analyze(flow.net).longest_path_ns * 0.9;
+  o.max_moves = 300;
+  o.cross_check_sta = true;
+  const auto res = optimizer.optimize(flow.net, o);
+  EXPECT_LE(res.final_ns, res.initial_ns);
+}
+
+}  // namespace
+}  // namespace dpmerge

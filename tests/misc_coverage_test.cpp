@@ -32,7 +32,8 @@ TEST(StaCoverage, LoadOnSumsReaderPins) {
   // a.bit(0) feeds: two INV pins and one XOR pin.
   const double expect = 2 * lib.variant(netlist::CellType::INV, 0).input_cap +
                         lib.variant(netlist::CellType::XOR2, 0).input_cap;
-  EXPECT_NEAR(sta.load_on(n, a.bit(0)), expect, 1e-12);
+  const auto loads = sta.net_loads(n);
+  EXPECT_NEAR(loads[static_cast<std::size_t>(a.bit(0).value)], expect, 1e-12);
 }
 
 TEST(StaCoverage, UpsizingReaderIncreasesDriverLoad) {
@@ -42,9 +43,10 @@ TEST(StaCoverage, UpsizingReaderIncreasesDriverLoad) {
   const auto i1 = n.inv(a.bit(0));
   n.add_output("y", netlist::Signal{{n.inv(i1)}});
   netlist::Sta sta(netlist::CellLibrary::tsmc025());
-  const double before = sta.load_on(n, i1);
+  const double before =
+      sta.net_loads(n)[static_cast<std::size_t>(i1.value)];
   n.mutable_gates()[1].drive = 2;
-  EXPECT_GT(sta.load_on(n, i1), before);
+  EXPECT_GT(sta.net_loads(n)[static_cast<std::size_t>(i1.value)], before);
 }
 
 TEST(OptCoverage, BufferSplitHelpsHighFanoutCriticalNet) {

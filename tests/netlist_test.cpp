@@ -162,9 +162,35 @@ TEST(Simulator, MissingStimulusThrows) {
   n.add_input("a", a);
   n.add_output("r", a);
   Simulator sim(n);
-  EXPECT_THROW(sim.run({}), std::invalid_argument);
+  EXPECT_THROW(sim.run(std::map<std::string, BitVector>{}),
+               std::invalid_argument);
   EXPECT_THROW(sim.run({{"a", BitVector::from_uint(3, 1)}}),
                std::invalid_argument);
+  // Positional form: count and width are validated too.
+  EXPECT_THROW(sim.run(std::vector<BitVector>{}), std::invalid_argument);
+  EXPECT_THROW(sim.run(std::vector<BitVector>{BitVector::from_uint(3, 1)}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, PositionalRunMatchesNamed) {
+  Netlist n;
+  Signal a{{n.new_net(), n.new_net()}}, b{{n.new_net(), n.new_net()}};
+  n.add_input("a", a);
+  n.add_input("b", b);
+  Signal x;
+  for (int i = 0; i < 2; ++i) x.bits.push_back(n.xor2(a.bit(i), b.bit(i)));
+  n.add_output("x", x);
+  Simulator sim(n);
+  for (unsigned va = 0; va < 4; ++va) {
+    for (unsigned vb = 0; vb < 4; ++vb) {
+      const auto named = sim.run({{"a", BitVector::from_uint(2, va)},
+                                  {"b", BitVector::from_uint(2, vb)}});
+      const auto pos = sim.run(std::vector<BitVector>{
+          BitVector::from_uint(2, va), BitVector::from_uint(2, vb)});
+      ASSERT_EQ(pos.size(), 1u);
+      EXPECT_EQ(pos[0], named.at("x"));
+    }
+  }
 }
 
 }  // namespace
