@@ -17,9 +17,12 @@
 #include "dpmerge/transform/rebalance.h"
 #include "dpmerge/transform/width_prune.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dpmerge;
   using bench::fmt;
+
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::ObsSession obs_session("ablation", args);
 
   netlist::Sta sta(netlist::CellLibrary::tsmc025());
 
@@ -47,26 +50,63 @@ int main() {
   std::vector<std::vector<std::string>> grid(
       static_cast<std::size_t>(nc),
       std::vector<std::string>(static_cast<std::size_t>(nd)));
-  bench::parallel_for_cells(nc * nd, [&](int cell) {
-    const Config& cfg = configs[cell / nd];
-    const auto& tc = cases[static_cast<std::size_t>(cell % nd)];
-    dfg::Graph g = tc.graph;
-    cluster::ClusterResult cr;
-    if (cfg.refine_feedback) {
-      cr = synth::prepare_new_merge(g);
-    } else {
-      if (cfg.normalize) transform::normalize_widths(g);
-      cluster::ClusterOptions copt;
-      copt.iterate_rebalancing = cfg.iterate;
-      cr = cluster::cluster_maximal(g, copt);
-    }
-    const auto net = synth::synthesize_partition(g, cr.partition, cr.info, {});
-    const auto rep = sta.analyze(net);
-    grid[static_cast<std::size_t>(cell / nd)]
-        [static_cast<std::size_t>(cell % nd)] =
-            std::to_string(cr.partition.num_clusters()) + " / " +
-            fmt(rep.longest_path_ns) + " / " + fmt(sta.area_scaled(net), 1);
-  });
+  // Per-design clusterer convergence of the full flow (config D), for the
+  // iteration table below.
+  std::vector<std::vector<cluster::ClusterIterationStat>> convergence(
+      static_cast<std::size_t>(nd));
+  obs_session.reports.resize(static_cast<std::size_t>(nc * nd));
+  bench::parallel_for_cells(
+      nc * nd,
+      [&](int cell) {
+        const Config& cfg = configs[cell / nd];
+        const auto& tc = cases[static_cast<std::size_t>(cell % nd)];
+        dfg::Graph g = tc.graph;
+        cluster::ClusterResult cr;
+        obs::FlowReport& report =
+            obs_session.reports[static_cast<std::size_t>(cell)];
+        report.design = tc.name;
+        report.flow = cfg.name;
+        netlist::Netlist net;
+        {
+          // This bench drives the stages by hand (run_flow can't express the
+          // partial configs), so it builds its own FlowScope the same way.
+          obs::FlowScope fs(&report);
+          if (cfg.refine_feedback) {
+            cr = synth::prepare_new_merge(g, &fs);
+          } else {
+            fs.begin_stage("normalize", g.node_count(), g.edge_count());
+            if (cfg.normalize) transform::normalize_widths(g);
+            fs.end_stage(g.node_count(), g.edge_count());
+            fs.begin_stage("cluster", g.node_count(), g.edge_count());
+            cluster::ClusterOptions copt;
+            copt.iterate_rebalancing = cfg.iterate;
+            cr = cluster::cluster_maximal(g, copt);
+            fs.end_stage(g.node_count(), g.edge_count());
+          }
+          report.cluster_iterations = cr.iterations;
+          for (const auto& it : cr.per_iteration) {
+            report.iterations.push_back(
+                {it.clusters, it.merged_nodes, it.refined_roots});
+          }
+          fs.begin_stage("synth", g.node_count(), g.edge_count());
+          net = synth::synthesize_partition(g, cr.partition, cr.info, {});
+          fs.end_stage(net.gate_count(), net.net_count());
+          synth::finalize_flow_report(report, g, cr.partition, net, fs.sink());
+        }
+        const auto rep = sta.analyze(net);
+        report.metrics["delay_ns"] = rep.longest_path_ns;
+        report.metrics["area"] = sta.area_scaled(net);
+        report.metrics["clusters"] = cr.partition.num_clusters();
+        if (cfg.refine_feedback) {
+          convergence[static_cast<std::size_t>(cell % nd)] = cr.per_iteration;
+        }
+        grid[static_cast<std::size_t>(cell / nd)]
+            [static_cast<std::size_t>(cell % nd)] =
+                std::to_string(cr.partition.num_clusters()) + " / " +
+                fmt(rep.longest_path_ns) + " / " +
+                fmt(sta.area_scaled(net), 1);
+      },
+      args.threads);
   for (int c = 0; c < nc; ++c) {
     std::vector<std::string> cells{configs[c].name};
     for (int d = 0; d < nd; ++d) {
@@ -76,6 +116,29 @@ int main() {
     t.add_row(std::move(cells));
   }
   t.print();
+
+  // Satellite view of the iterative maximal-merging convergence: one
+  // clusters/merged/refined triple per iteration of the full flow, per
+  // design (ClusterResult::per_iteration).
+  std::printf(
+      "\nClusterer convergence, full flow (clusters/merged/refined per"
+      " iteration):\n\n");
+  {
+    bench::Table tc({"design", "iters", "per-iteration"});
+    for (int d = 0; d < nd; ++d) {
+      const auto& iters = convergence[static_cast<std::size_t>(d)];
+      std::string detail;
+      for (std::size_t i = 0; i < iters.size(); ++i) {
+        if (i) detail += "  ";
+        detail += std::to_string(iters[i].clusters) + "/" +
+                  std::to_string(iters[i].merged_nodes) + "/" +
+                  std::to_string(iters[i].refined_roots);
+      }
+      tc.add_row({cases[static_cast<std::size_t>(d)].name,
+                  std::to_string(iters.size()), detail});
+    }
+    tc.print();
+  }
 
   // The "other application" of safe partitioning: graph rebalancing ahead
   // of a NON-merging flow (keeps discrete adders, shortens chains).
@@ -98,7 +161,7 @@ int main() {
       slot = std::to_string(res.partition.num_clusters()) + " / " +
              fmt(rep.longest_path_ns) + " / " +
              fmt(sta.area_scaled(res.net), 1);
-    });
+    }, args.threads);
     plain.insert(plain.begin(), "no-merge flow");
     reb.insert(reb.begin(), "no-merge + rebalance");
     t3.add_row(std::move(plain));
@@ -122,7 +185,7 @@ int main() {
              [static_cast<std::size_t>(cell % nd)] =
                  fmt(rep.longest_path_ns) + " ns / " +
                  fmt(sta.area_scaled(res.net), 1);
-  });
+  }, args.threads);
   for (int a = 0; a < 2; ++a) {
     std::vector<std::string> cells{std::string(synth::to_string(archs[a]))};
     for (int d = 0; d < nd; ++d) {

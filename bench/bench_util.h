@@ -2,13 +2,124 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "dpmerge/obs/obs.h"
+
 namespace dpmerge::bench {
+
+/// Shared command-line contract of every bench harness:
+///   --stats-json <path>     write per-(design x flow) FlowReports as JSON
+///   --trace <path>          record spans/events, write Chrome trace JSON
+///   --seed <n>              seed for any stimulus randomness (default 1)
+///   --stats-deterministic   zero wall-clock fields in the stats JSON so
+///                           repeated runs are byte-identical
+///   --threads <n>           pool width for parallel_for_cells (0 = auto)
+///   --help                  print usage and exit
+struct BenchArgs {
+  std::string stats_json;
+  std::string trace;
+  std::uint64_t seed = 1;
+  bool deterministic = false;
+  int threads = 0;
+};
+
+/// Parses the shared flags out of argv. With `allow_unknown` (the
+/// google-benchmark harnesses), unrecognised arguments are kept in argv (and
+/// argc updated) for the caller's own parser; otherwise they are an error.
+inline BenchArgs parse_bench_args(int& argc, char** argv,
+                                  bool allow_unknown = false) {
+  BenchArgs a;
+  auto usage = [&](std::FILE* to) {
+    std::fprintf(to,
+                 "usage: %s [--stats-json <path>] [--trace <path>]\n"
+                 "          [--seed <n>] [--stats-deterministic]"
+                 " [--threads <n>]\n",
+                 argc > 0 ? argv[0] : "bench");
+  };
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--stats-json") {
+      a.stats_json = value();
+    } else if (arg == "--trace") {
+      a.trace = value();
+    } else if (arg == "--seed") {
+      a.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--stats-deterministic") {
+      a.deterministic = true;
+    } else if (arg == "--threads") {
+      a.threads = std::atoi(value());
+    } else if (arg == "--help" && !allow_unknown) {
+      usage(stdout);
+      std::exit(0);
+    } else if (allow_unknown) {
+      argv[out++] = argv[i];
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      usage(stderr);
+      std::exit(2);
+    }
+  }
+  if (allow_unknown) argc = out;
+  return a;
+}
+
+/// Starts/stops the tracer per BenchArgs and writes the `--trace` and
+/// `--stats-json` artifacts when the harness finishes. The reports vector is
+/// borrowed: the harness fills it (in deterministic cell order) before the
+/// session is destroyed.
+class ObsSession {
+ public:
+  ObsSession(std::string bench_name, const BenchArgs& args)
+      : name_(std::move(bench_name)), args_(args) {
+    if (!args_.trace.empty()) obs::Tracer::instance().start();
+  }
+
+  ~ObsSession() {
+    if (!args_.trace.empty()) {
+      obs::Tracer::instance().stop();
+      if (!obs::Tracer::instance().write_file(args_.trace)) {
+        std::fprintf(stderr, "failed to write trace to '%s'\n",
+                     args_.trace.c_str());
+      }
+    }
+    if (!args_.stats_json.empty()) {
+      std::ofstream os(args_.stats_json);
+      if (!os) {
+        std::fprintf(stderr, "failed to write stats to '%s'\n",
+                     args_.stats_json.c_str());
+        return;
+      }
+      obs::StatsJsonOptions opt;
+      opt.zero_times = args_.deterministic;
+      obs::write_stats_json(os, name_, args_.seed, reports, opt);
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  std::vector<obs::FlowReport> reports;
+
+ private:
+  std::string name_;
+  BenchArgs args_;
+};
 
 /// Runs `fn(cell)` for cell in [0, n) on a small std::thread pool
 /// (hardware concurrency by default; single-threaded fallback when the

@@ -5,11 +5,16 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
+
 #include "dpmerge/cluster/clusterer.h"
 #include "dpmerge/designs/figures.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dpmerge;
+
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::ObsSession obs_session("fig1", args);
 
   dfg::Graph g = designs::figure1_g2();
   const auto f = designs::figure_nodes(g);

@@ -5,13 +5,18 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
+
 #include "dpmerge/analysis/required_precision.h"
 #include "dpmerge/cluster/clusterer.h"
 #include "dpmerge/designs/figures.h"
 #include "dpmerge/transform/width_prune.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dpmerge;
+
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::ObsSession obs_session("fig2", args);
 
   dfg::Graph g = designs::figure2_g4();
   const auto f = designs::figure_nodes(g);

@@ -7,13 +7,18 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
+
 #include "dpmerge/analysis/info_content.h"
 #include "dpmerge/cluster/clusterer.h"
 #include "dpmerge/designs/figures.h"
 #include "dpmerge/transform/width_prune.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dpmerge;
+
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::ObsSession obs_session("fig3", args);
 
   dfg::Graph g = designs::figure3_g5();
   const auto f = designs::figure_nodes(g);

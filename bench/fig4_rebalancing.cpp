@@ -5,12 +5,17 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
+
 #include "dpmerge/analysis/huffman.h"
 #include "dpmerge/analysis/info_content.h"
 #include "dpmerge/designs/figures.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dpmerge;
+
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::ObsSession obs_session("fig4", args);
   using analysis::Addend;
   using analysis::InfoContent;
 

@@ -14,10 +14,13 @@
 #include "dpmerge/transform/const_fold.h"
 #include "dpmerge/transform/cse.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dpmerge;
   using bench::fmt;
   using synth::Flow;
+
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::ObsSession obs_session("kernels", args);
 
   netlist::Sta sta(netlist::CellLibrary::tsmc025());
   const auto kernels = designs::dsp_kernels();
@@ -35,14 +38,24 @@ int main() {
              fmt(sta.analyze(n).longest_path_ns) + " / " +
              fmt(sta.area_scaled(n), 1);
     };
+    auto keep_report = [&](synth::FlowResult& res, const char* variant) {
+      res.report.design = k.name + (variant[0] ? std::string(":") + variant
+                                               : std::string());
+      res.report.metrics["delay_ns"] = sta.analyze(res.net).longest_path_ns;
+      res.report.metrics["area"] = sta.area_scaled(res.net);
+      res.report.metrics["clusters"] = res.partition.num_clusters();
+      obs_session.reports.push_back(std::move(res.report));
+    };
     for (Flow f : {Flow::NoMerge, Flow::OldMerge, Flow::NewMerge}) {
-      const auto res = synth::run_flow(k.graph, f);
+      auto res = synth::run_flow(k.graph, f);
       row.push_back(cell(res.partition, res.net));
+      keep_report(res, "");
     }
     const dfg::Graph folded = transform::share_common_subexpressions(
         transform::fold_constants(k.graph));
-    const auto res = synth::run_flow(folded, Flow::NewMerge);
+    auto res = synth::run_flow(folded, Flow::NewMerge);
     row.push_back(cell(res.partition, res.net));
+    keep_report(res, "fold+cse");
     const auto slim = netlist::simplify(res.net);
     row.push_back(cell(res.partition, slim));
     t.add_row(std::move(row));

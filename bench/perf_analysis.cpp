@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "dpmerge/analysis/huffman.h"
 #include "dpmerge/analysis/info_content.h"
 #include "dpmerge/analysis/required_precision.h"
@@ -213,4 +214,17 @@ BENCHMARK(BM_HuffmanRebalancing)->Range(8, 4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN: the shared dpmerge flags
+// (--trace, --stats-json, ...) are stripped first, everything else goes to
+// google-benchmark's own parser. With --trace, the spans recorded inside
+// the benched code paths are exported as a Chrome trace.
+int main(int argc, char** argv) {
+  const dpmerge::bench::BenchArgs args =
+      dpmerge::bench::parse_bench_args(argc, argv, /*allow_unknown=*/true);
+  dpmerge::bench::ObsSession obs_session("perf_analysis", args);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,10 +15,13 @@
 #include "dpmerge/netlist/sta.h"
 #include "dpmerge/synth/flow.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dpmerge;
   using bench::fmt;
   using synth::Flow;
+
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::ObsSession obs_session("table1", args);
 
   const auto cases = designs::all_testcases();
   netlist::Sta sta(netlist::CellLibrary::tsmc025());
@@ -29,20 +32,30 @@ int main() {
     int clusters[3];
   };
   // One (design x flow) cell per pool task; each cell writes its own slot,
-  // so the thread schedule cannot affect the printed table.
+  // so the thread schedule cannot affect the printed table (or the
+  // --stats-json entry order).
   std::vector<Row> rows(cases.size());
   const Flow flows[] = {Flow::NoMerge, Flow::OldMerge, Flow::NewMerge};
+  obs_session.reports.resize(cases.size() * 3);
   bench::parallel_for_cells(
-      static_cast<int>(cases.size()) * 3, [&](int cell) {
+      static_cast<int>(cases.size()) * 3,
+      [&](int cell) {
         const int ci = cell / 3;
         const int fi = cell % 3;
-        const auto res = synth::run_flow(
-            cases[static_cast<std::size_t>(ci)].graph, flows[fi]);
+        auto res = synth::run_flow(cases[static_cast<std::size_t>(ci)].graph,
+                                   flows[fi]);
         Row& r = rows[static_cast<std::size_t>(ci)];
         r.delay[fi] = sta.analyze(res.net).longest_path_ns;
         r.area[fi] = sta.area_scaled(res.net);
         r.clusters[fi] = res.partition.num_clusters();
-      });
+        res.report.design = cases[static_cast<std::size_t>(ci)].name;
+        res.report.metrics["delay_ns"] = r.delay[fi];
+        res.report.metrics["area"] = r.area[fi];
+        res.report.metrics["clusters"] = r.clusters[fi];
+        obs_session.reports[static_cast<std::size_t>(cell)] =
+            std::move(res.report);
+      },
+      args.threads);
 
   std::printf("Table 1: post-synthesis longest path delay and area\n");
   std::printf("(delay in ns; area in library units scaled by 1/100)\n\n");

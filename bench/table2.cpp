@@ -18,9 +18,12 @@
 #include "dpmerge/opt/timing_opt.h"
 #include "dpmerge/synth/flow.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dpmerge;
   using synth::Flow;
+
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::ObsSession obs_session("table2", args);
 
   const auto cases = designs::all_testcases();
   const auto& lib = netlist::CellLibrary::tsmc025();
@@ -42,32 +45,67 @@ int main() {
   // slots, so the thread schedule cannot affect the printed numbers.
   const int n = static_cast<int>(cases.size());
   std::vector<synth::FlowResult> synthed(static_cast<std::size_t>(n) * 2);
-  bench::parallel_for_cells(n * 2, [&](int cell) {
-    const int ci = cell / 2;
-    const Flow f = (cell % 2) == 0 ? Flow::OldMerge : Flow::NewMerge;
-    synthed[static_cast<std::size_t>(cell)] =
-        synth::run_flow(cases[static_cast<std::size_t>(ci)].graph, f);
-  });
+  bench::parallel_for_cells(
+      n * 2,
+      [&](int cell) {
+        const int ci = cell / 2;
+        const Flow f = (cell % 2) == 0 ? Flow::OldMerge : Flow::NewMerge;
+        synthed[static_cast<std::size_t>(cell)] =
+            synth::run_flow(cases[static_cast<std::size_t>(ci)].graph, f);
+        synthed[static_cast<std::size_t>(cell)].report.design =
+            cases[static_cast<std::size_t>(ci)].name;
+      },
+      args.threads);
   for (int ci = 0; ci < n; ++ci) {
     rows[static_cast<std::size_t>(ci)].target =
         sta.analyze(synthed[static_cast<std::size_t>(ci) * 2 + 1].net)
             .longest_path_ns *
         0.93;
   }
-  bench::parallel_for_cells(n * 2, [&](int cell) {
-    const int ci = cell / 2;
-    const int fi = cell % 2;  // 0 = old merge, 1 = new merge
-    Row& r = rows[static_cast<std::size_t>(ci)];
-    opt::TimingOptOptions o;
-    o.target_ns = r.target;
-    o.max_moves = 5000;
-    const auto res =
-        optimizer.optimize(synthed[static_cast<std::size_t>(cell)].net, o);
-    r.time[fi] = res.runtime_sec;
-    r.end_delay[fi] = res.final_ns;
-    r.end_area[fi] = res.final_area;
-    r.moves[fi] = res.moves;
-  });
+  bench::parallel_for_cells(
+      n * 2,
+      [&](int cell) {
+        const int ci = cell / 2;
+        const int fi = cell % 2;  // 0 = old merge, 1 = new merge
+        Row& r = rows[static_cast<std::size_t>(ci)];
+        synth::FlowResult& fr = synthed[static_cast<std::size_t>(cell)];
+        opt::TimingOptOptions o;
+        o.target_ns = r.target;
+        o.max_moves = 5000;
+
+        // The optimizer runs outside run_flow, so collect its counters into
+        // an explicit "opt" stage appended to the flow's report.
+        obs::StatSink sink;
+        const std::int64_t in_gates = fr.net.gate_count();
+        const std::int64_t t0 = obs::now_us();
+        opt::TimingOptResult res;
+        {
+          obs::StatScope scope(&sink);
+          res = optimizer.optimize(fr.net, o);
+        }
+        obs::StageReport stage;
+        stage.name = "opt";
+        stage.elapsed_us = obs::now_us() - t0;
+        stage.in_nodes = in_gates;
+        stage.out_nodes = fr.net.gate_count();
+        for (const auto& [k, v] : sink.values()) stage.stats.emplace(k, v);
+        fr.report.total_us += stage.elapsed_us;
+        fr.report.stages.push_back(std::move(stage));
+        fr.report.metrics["target_ns"] = r.target;
+        fr.report.metrics["end_delay_ns"] = res.final_ns;
+        fr.report.metrics["end_area"] = res.final_area;
+        fr.report.metrics["opt_moves"] = res.moves;
+
+        r.time[fi] = res.runtime_sec;
+        r.end_delay[fi] = res.final_ns;
+        r.end_area[fi] = res.final_area;
+        r.moves[fi] = res.moves;
+      },
+      args.threads);
+  obs_session.reports.reserve(synthed.size());
+  for (auto& fr : synthed) {
+    obs_session.reports.push_back(std::move(fr.report));
+  }
 
   std::printf("Table 2: timing-driven logic optimisation, old vs new merging\n");
   std::printf("(times in seconds on this machine; targets derived per design)\n\n");

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dpmerge/obs/obs.h"
+
 namespace dpmerge::analysis {
 
 using dfg::Edge;
@@ -107,6 +109,8 @@ InfoContent const_info(const BitVector& v) {
 
 InfoAnalysis compute_info_content(const Graph& g,
                                   const InfoRefinements& refinements) {
+  obs::Span span("analysis.info_content");
+  obs::stat_add("analysis.info_content.runs");
   InfoAnalysis ia;
   ia.at_output_port.assign(static_cast<std::size_t>(g.node_count()), {});
   ia.intrinsic.assign(static_cast<std::size_t>(g.node_count()), {});

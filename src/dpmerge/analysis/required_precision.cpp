@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dpmerge/obs/obs.h"
+
 namespace dpmerge::analysis {
 
 using dfg::Graph;
@@ -10,6 +12,8 @@ using dfg::NodeId;
 using dfg::OpKind;
 
 RequiredPrecision compute_required_precision(const Graph& g) {
+  obs::Span span("analysis.required_precision");
+  obs::stat_add("analysis.required_precision.runs");
   RequiredPrecision rp;
   rp.at_output_port.assign(static_cast<std::size_t>(g.node_count()), 0);
   rp.at_input_port.assign(static_cast<std::size_t>(g.node_count()), 0);

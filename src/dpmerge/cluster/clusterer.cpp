@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dpmerge/cluster/flatten.h"
+#include "dpmerge/obs/obs.h"
 
 namespace dpmerge::cluster {
 
@@ -53,6 +54,7 @@ std::vector<bool> compute_breaks(const Graph& g, const InfoAnalysis& ia,
   for (const Node& n : g.nodes()) {
     if (!dfg::is_arith_operator(n.kind)) continue;
     bool b = n.out.empty();
+    const char* reason = b ? "no_consumer" : nullptr;
     for (EdgeId eid : n.out) {
       if (b) break;
       const Edge& e = g.edge(eid);
@@ -60,11 +62,13 @@ std::vector<bool> compute_breaks(const Graph& g, const InfoAnalysis& ia,
       // Safety Condition 1 (+ primary outputs end clusters).
       if (!dfg::is_arith_operator(dst.kind)) {
         b = true;
+        reason = "safety1_non_arith";
         continue;
       }
       // Synthesizability Condition 1.
       if (dst.kind == OpKind::Mul) {
         b = true;
+        reason = "synth1_mul_operand";
         continue;
       }
       // Safety Condition 2, exact-low-bits form: track how many low bits of
@@ -74,9 +78,28 @@ std::vector<bool> compute_breaks(const Graph& g, const InfoAnalysis& ia,
       int m = ia.intr(n.id).width > n.width ? n.width : kExact;
       resize_stage(c, m, n.width, e.width, e.sign);
       resize_stage(c, m, e.width, dst.width, e.sign);
-      if (rp.r_in(e.dst) > m) b = true;
+      if (rp.r_in(e.dst) > m) {
+        b = true;
+        reason = "safety2_precision";
+      }
+      if (obs::tracing()) {
+        obs::instant("cluster.decision",
+                     obs::TraceArgs()
+                         .add("src", std::string(dfg::to_string(n.kind)) +
+                                         "#" + std::to_string(n.id.value))
+                         .add("dst", std::string(dfg::to_string(dst.kind)) +
+                                         "#" + std::to_string(dst.id.value))
+                         .add("r_in", rp.r_in(e.dst))
+                         .add("exact_bits", m >= kExact ? -1 : m)
+                         .add("verdict", b ? "reject" : "accept")
+                         .str());
+      }
     }
     brk[static_cast<std::size_t>(n.id.value)] = b;
+    if (obs::StatSink* sink = obs::current_sink()) {
+      sink->add(b ? "cluster.decisions.reject" : "cluster.decisions.accept");
+      if (reason) sink->add(std::string("cluster.reject.") + reason);
+    }
   }
   return brk;
 }
@@ -84,33 +107,46 @@ std::vector<bool> compute_breaks(const Graph& g, const InfoAnalysis& ia,
 }  // namespace
 
 ClusterResult cluster_maximal(const Graph& g, const ClusterOptions& opt) {
+  obs::Span span("cluster.maximal");
   ClusterResult res;
   res.refinements.assign(static_cast<std::size_t>(g.node_count()),
                          std::nullopt);
 
+  int arith_nodes = 0;
+  for (const Node& n : g.nodes()) {
+    if (dfg::is_arith_operator(n.kind)) ++arith_nodes;
+  }
+
   const int rounds = opt.iterate_rebalancing ? opt.max_iterations : 1;
   for (int iter = 0; iter < rounds; ++iter) {
+    obs::Span iter_span("cluster.iteration");
     res.iterations = iter + 1;
     res.info = analysis::compute_info_content(g, res.refinements);
     res.rp = analysis::compute_required_precision(g);
     const auto breaks = compute_breaks(g, res.info, res.rp);
     res.partition = partition_from_breaks(g, breaks);
+    res.per_iteration.push_back(
+        {res.partition.num_clusters(),
+         arith_nodes - res.partition.num_clusters(), 0});
+    obs::stat_add("cluster.iterations");
     if (!opt.iterate_rebalancing) break;
 
     // Section 5.2 / Section 6 refinement: recompute each cluster output's
     // information content under the optimal (Huffman) operation ordering;
     // any tightening may dissolve a break in the next round.
-    bool changed = false;
+    int refined = 0;
     for (const Cluster& c : res.partition.clusters) {
       const InfoContent h = rebalanced_cluster_bound(g, c, res.info);
       const InfoContent cur = res.info.intr(c.root);
       if (h.width < cur.width) {
         auto& slot = res.refinements[static_cast<std::size_t>(c.root.value)];
         slot = slot.has_value() ? analysis::ic_meet(*slot, h) : h;
-        changed = true;
+        ++refined;
       }
     }
-    if (!changed) break;
+    res.per_iteration.back().refined_roots = refined;
+    obs::stat_add("cluster.refined_roots", refined);
+    if (refined == 0) break;
   }
   return res;
 }
@@ -168,6 +204,7 @@ std::vector<int> natural_widths(const Graph& g) {
 }  // namespace
 
 Partition cluster_leakage(const Graph& g) {
+  obs::Span span("cluster.leakage");
   const auto nat = natural_widths(g);
   const auto rp = analysis::compute_required_precision(g);
   // The width-only criterion cannot see signedness reinterpretation
@@ -192,12 +229,31 @@ Partition cluster_leakage(const Graph& g) {
       // Leakage on the edge: the edge drops bits the node really produced
       // and a consumer widens the truncated value again.
       if (std::min(std::min(nat_n, n.width), r_d) > e.width) b = true;
+      if (obs::tracing()) {
+        // The width-only score the old algorithm acts on, next to the RP
+        // the new analysis would have used — the per-edge gap between the
+        // two criteria, visible in the trace.
+        obs::instant("cluster.leakage_decision",
+                     obs::TraceArgs()
+                         .add("src", std::string(dfg::to_string(n.kind)) +
+                                         "#" + std::to_string(n.id.value))
+                         .add("dst", std::string(dfg::to_string(dst.kind)) +
+                                         "#" + std::to_string(e.dst.value))
+                         .add("natural_width", nat_n)
+                         .add("edge_width", e.width)
+                         .add("r_in", r_d)
+                         .add("verdict", b ? "reject" : "accept")
+                         .str());
+      }
     }
     // Leakage at the node: the operator's natural width exceeds its declared
     // width (bits leak) and some consumer requires more than it produces.
     if (!b && std::min(nat_n, max_r) > n.width) b = true;
     // OR into the functionally-required break set seeded above.
-    if (b) brk[static_cast<std::size_t>(n.id.value)] = true;
+    if (b && !brk[static_cast<std::size_t>(n.id.value)]) {
+      brk[static_cast<std::size_t>(n.id.value)] = true;
+      obs::stat_add("cluster.reject.leakage");
+    }
   }
   return partition_from_breaks(g, brk);
 }

@@ -16,6 +16,18 @@ struct ClusterOptions {
   int max_iterations = 16;
 };
 
+/// What one iteration of the maximal-merging loop produced: the partition
+/// size, how many arithmetic operators were merged into a consumer's
+/// cluster, and how many cluster-output bounds the Huffman rebalancing
+/// tightened (driving the next iteration). Surfaced by the ablation bench
+/// and the obs flow reports — the observable form of the paper's
+/// "iterative maximal merging converges in a few iterations" claim.
+struct ClusterIterationStat {
+  int clusters = 0;
+  int merged_nodes = 0;
+  int refined_roots = 0;
+};
+
 /// Result of the iterative maximal-clustering algorithm, including the final
 /// analyses (the synthesizer reuses the information-content claims to derive
 /// addend signedness).
@@ -24,6 +36,9 @@ struct ClusterResult {
   analysis::InfoAnalysis info;
   analysis::RequiredPrecision rp;
   int iterations = 0;
+  /// One entry per iteration, in order (across `prepare_new_merge`'s outer
+  /// width-feedback rounds too).
+  std::vector<ClusterIterationStat> per_iteration;
   /// Per-node refined intrinsic bounds discovered by cluster rebalancing.
   analysis::InfoRefinements refinements;
 };

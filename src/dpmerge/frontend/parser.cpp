@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "dpmerge/obs/obs.h"
+
 namespace dpmerge::frontend {
 
 namespace {
@@ -394,7 +396,15 @@ class Parser {
 }  // namespace
 
 CompileResult compile(const std::string& source) {
-  return Parser(source).run();
+  obs::Span span("frontend.compile");
+  CompileResult res = Parser(source).run();
+  if (obs::StatSink* sink = obs::current_sink()) {
+    sink->add("frontend.source_bytes",
+              static_cast<std::int64_t>(source.size()));
+    sink->add("frontend.nodes", res.graph.node_count());
+    sink->add("frontend.edges", res.graph.edge_count());
+  }
+  return res;
 }
 
 }  // namespace dpmerge::frontend

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "dpmerge/obs/obs.h"
+
 namespace dpmerge::netlist {
 
 PackedSimulator::PackedSimulator(const Netlist& n)
@@ -57,6 +59,15 @@ std::vector<std::vector<BitVector>> PackedSimulator::run_batch(
   if (lanes == 0) return {};
   if (lanes > static_cast<std::size_t>(kLanes)) {
     throw std::invalid_argument("more than 64 lanes in one batch");
+  }
+  obs::stat_add("packed_sim.batches");
+  obs::stat_add("packed_sim.lanes_used", static_cast<std::int64_t>(lanes));
+  if constexpr (obs::compiled_in()) {
+    // Lane-utilization histogram: how full the 64-wide batches actually are.
+    // Registry lookup mutexes; cache the reference once per process.
+    static obs::Histogram& lanes_hist =
+        obs::Registry::instance().histogram("packed_sim.lanes_per_batch");
+    lanes_hist.observe(static_cast<std::int64_t>(lanes));
   }
 
   // Pack: word for bit b of bus i has stimuli[L][i].bit(b) in bit L.

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "dpmerge/obs/obs.h"
+
 namespace dpmerge::netlist {
 
 Simulator::Simulator(const Netlist& n) : net_(n), order_(n.topo_gates()) {}
@@ -11,6 +13,7 @@ std::vector<BitVector> Simulator::run(
   if (inputs.size() != net_.inputs().size()) {
     throw std::invalid_argument("stimulus count mismatch");
   }
+  obs::stat_add("sim.scalar_runs");
   std::vector<bool> value(static_cast<std::size_t>(net_.net_count()), false);
   value[1] = true;  // const1
 

@@ -4,6 +4,8 @@
 #include <functional>
 #include <queue>
 
+#include "dpmerge/obs/obs.h"
+
 namespace dpmerge::netlist {
 
 std::vector<double> Sta::net_loads(const Netlist& n) const {
@@ -18,6 +20,9 @@ std::vector<double> Sta::net_loads(const Netlist& n) const {
 }
 
 TimingReport Sta::analyze(const Netlist& n) const {
+  obs::Span span("sta.analyze");
+  obs::stat_add("sta.full_runs");
+  obs::stat_add("sta.full_gates", n.gate_count());
   TimingReport rep;
   rep.arrival.assign(static_cast<std::size_t>(n.net_count()), 0.0);
   std::vector<NetId> from(static_cast<std::size_t>(n.net_count()), NetId{});
@@ -179,11 +184,13 @@ void IncrementalSta::update_drive_change(GateId g) {
   // The gate itself: its drive resistance changed.
   enqueue(g.value);
 
+  int cone_gates = 0;
   while (!pq.empty()) {
     const int pos = pq.top();
     pq.pop();
     const int gi = topo_[static_cast<std::size_t>(pos)].value;
     queued_[static_cast<std::size_t>(gi)] = 0;
+    ++cone_gates;
     const NetId out = net_.gates()[static_cast<std::size_t>(gi)].output;
     const double before = arrival_[static_cast<std::size_t>(out.value)];
     recompute_gate(gi);
@@ -192,6 +199,12 @@ void IncrementalSta::update_drive_change(GateId g) {
         enqueue(reader);
       }
     }
+  }
+
+  if (obs::StatSink* sink = obs::current_sink()) {
+    sink->add("sta.incremental_updates");
+    sink->add("sta.incremental_cone_gates", cone_gates);
+    sink->set_max("sta.incremental_max_cone", cone_gates);
   }
 
   refresh_longest();

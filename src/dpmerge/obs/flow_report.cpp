@@ -1,0 +1,181 @@
+#include "dpmerge/obs/flow_report.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "dpmerge/obs/json.h"
+#include "dpmerge/obs/trace.h"
+
+namespace dpmerge::obs {
+
+namespace {
+
+void append_i64_map(std::string& out,
+                    const std::map<std::string, std::int64_t>& m) {
+  out += "{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) out += ",";
+    first = false;
+    json_append_quoted(out, k);
+    out += ":" + std::to_string(v);
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::int64_t FlowReport::stage_time_us(std::string_view stage) const {
+  for (const StageReport& s : stages) {
+    if (s.name == stage) return s.elapsed_us;
+  }
+  return 0;
+}
+
+std::string FlowReport::to_text() const {
+  std::ostringstream os;
+  os << "flow " << flow;
+  if (!design.empty()) os << " on " << design;
+  os << ": " << total_us << " us, " << cluster_iterations
+     << " cluster iteration(s), " << merge_decisions << " operators merged, "
+     << csa_rows << " CSA rows, " << cpa_count << " CPAs\n";
+  for (const StageReport& s : stages) {
+    os << "  stage " << s.name << ": " << s.elapsed_us << " us, "
+       << s.in_nodes << "n/" << s.in_edges << "e -> " << s.out_nodes << "n/"
+       << s.out_edges << "e\n";
+    for (const auto& [k, v] : s.stats) {
+      os << "    " << k << " = " << v << "\n";
+    }
+  }
+  if (!cells_by_type.empty()) {
+    os << "  cells:";
+    for (const auto& [k, v] : cells_by_type) os << " " << k << "=" << v;
+    os << "\n";
+  }
+  for (const auto& [k, v] : metrics) {
+    os << "  " << k << " = " << json_number(v) << "\n";
+  }
+  return os.str();
+}
+
+void FlowReport::to_json(std::string& out, const StatsJsonOptions& opt) const {
+  auto t = [&](std::int64_t us) { return opt.zero_times ? 0 : us; };
+  out += "{\"design\":";
+  json_append_quoted(out, design);
+  out += ",\"flow\":";
+  json_append_quoted(out, flow);
+  out += ",\"total_us\":" + std::to_string(t(total_us));
+  out += ",\"cluster_iterations\":" + std::to_string(cluster_iterations);
+  out += ",\"merge_decisions\":" + std::to_string(merge_decisions);
+  out += ",\"csa_rows\":" + std::to_string(csa_rows);
+  out += ",\"cpa_count\":" + std::to_string(cpa_count);
+  out += ",\"cells_by_type\":";
+  append_i64_map(out, cells_by_type);
+  out += ",\"stage_times_us\":{";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (i) out += ",";
+    json_append_quoted(out, stages[i].name);
+    out += ":" + std::to_string(t(stages[i].elapsed_us));
+  }
+  out += "},\"iterations\":[";
+  for (std::size_t i = 0; i < iterations.size(); ++i) {
+    if (i) out += ",";
+    out += "{\"clusters\":" + std::to_string(iterations[i].clusters) +
+           ",\"merged_nodes\":" + std::to_string(iterations[i].merged_nodes) +
+           ",\"refined_roots\":" +
+           std::to_string(iterations[i].refined_roots) + "}";
+  }
+  out += "],\"metrics\":{";
+  bool first = true;
+  for (const auto& [k, v] : metrics) {
+    if (!first) out += ",";
+    first = false;
+    json_append_quoted(out, k);
+    out += ":" + json_number(v);
+  }
+  out += "},\"stages\":[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageReport& s = stages[i];
+    if (i) out += ",";
+    out += "{\"name\":";
+    json_append_quoted(out, s.name);
+    out += ",\"time_us\":" + std::to_string(t(s.elapsed_us));
+    out += ",\"in_nodes\":" + std::to_string(s.in_nodes);
+    out += ",\"in_edges\":" + std::to_string(s.in_edges);
+    out += ",\"out_nodes\":" + std::to_string(s.out_nodes);
+    out += ",\"out_edges\":" + std::to_string(s.out_edges);
+    out += ",\"stats\":";
+    append_i64_map(out, s.stats);
+    out += "}";
+  }
+  out += "]}";
+}
+
+void write_stats_json(std::ostream& os, std::string_view bench_name,
+                      std::uint64_t seed,
+                      const std::vector<FlowReport>& reports,
+                      const StatsJsonOptions& opt) {
+  std::string out = "{\"bench\":";
+  json_append_quoted(out, bench_name);
+  out += ",\"seed\":" + std::to_string(seed);
+  out += ",\"deterministic\":";
+  out += opt.zero_times ? "true" : "false";
+  out += ",\"entries\":[";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    out += i ? ",\n" : "\n";
+    reports[i].to_json(out, opt);
+  }
+  out += "\n]}\n";
+  os << out;
+}
+
+FlowScope::FlowScope(FlowReport* rep)
+    : rep_(rep), scope_(&sink_), flow_t0_(now_us()) {}
+
+FlowScope::~FlowScope() {
+  if (in_stage_) end_stage();
+  rep_->total_us = now_us() - flow_t0_;
+}
+
+void FlowScope::begin_stage(std::string name, std::int64_t in_nodes,
+                            std::int64_t in_edges) {
+  if (in_stage_) end_stage();
+  in_stage_ = true;
+  stage_base_ = {sink_.values().begin(), sink_.values().end()};
+  stage_idx_ = rep_->stages.size();
+  for (std::size_t i = 0; i < rep_->stages.size(); ++i) {
+    if (rep_->stages[i].name == name) {
+      stage_idx_ = i;
+      break;
+    }
+  }
+  if (stage_idx_ == rep_->stages.size()) {
+    rep_->stages.push_back(StageReport{});
+    StageReport& s = rep_->stages.back();
+    s.name = std::move(name);
+    s.in_nodes = in_nodes;
+    s.in_edges = in_edges;
+  }
+  stage_t0_ = now_us();
+}
+
+void FlowScope::end_stage(std::int64_t out_nodes, std::int64_t out_edges) {
+  if (!in_stage_) return;
+  in_stage_ = false;
+  const std::int64_t t1 = now_us();
+  StageReport& s = rep_->stages[stage_idx_];
+  s.elapsed_us += t1 - stage_t0_;
+  s.out_nodes = out_nodes;
+  s.out_edges = out_edges;
+  // The stage's stats are the sink's growth since begin_stage.
+  for (const auto& [k, v] : sink_.values()) {
+    auto it = stage_base_.find(k);
+    const std::int64_t delta = v - (it == stage_base_.end() ? 0 : it->second);
+    if (delta != 0) s.stats[k] += delta;
+  }
+  if (tracing()) {
+    Tracer::instance().record("flow." + s.name, stage_t0_, t1 - stage_t0_);
+  }
+}
+
+}  // namespace dpmerge::obs

@@ -1,0 +1,243 @@
+#include "dpmerge/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dpmerge::obs {
+
+void json_append_quoted(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  json_append_quoted(out, s);
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+namespace {
+
+/// Single-pass recursive-descent JSON checker (no value materialisation).
+class Checker {
+ public:
+  explicit Checker(std::string_view t) : t_(t) {}
+
+  bool run(std::string* error) {
+    skip_ws();
+    bool ok = value();
+    if (ok) {
+      skip_ws();
+      if (pos_ != t_.size()) {
+        ok = false;
+        err_ = "trailing content";
+      }
+    }
+    if (!ok && error) {
+      *error = err_.empty() ? "malformed JSON" : err_;
+      *error += " at byte " + std::to_string(pos_);
+    }
+    return ok;
+  }
+
+ private:
+  bool fail(const char* why) {
+    if (err_.empty()) err_ = why;
+    return false;
+  }
+  char peek() const { return pos_ < t_.size() ? t_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < t_.size() &&
+           (t_[pos_] == ' ' || t_[pos_] == '\t' || t_[pos_] == '\n' ||
+            t_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (t_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) return fail("expected string");
+    while (pos_ < t_.size()) {
+      const unsigned char c = static_cast<unsigned char>(t_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        const char e = peek();
+        if (e == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(peek()))) {
+              return fail("bad \\u escape");
+            }
+            ++pos_;
+          }
+        } else if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
+                   e == 'n' || e == 'r' || e == 't') {
+          ++pos_;
+        } else {
+          return fail("bad escape");
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    eat('-');
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("expected digit");
+    }
+    if (!eat('0')) {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (eat('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("expected fraction digit");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("expected exponent digit");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool value() {
+    if (++depth_ > 256) return fail("nesting too deep");
+    bool ok = false;
+    switch (peek()) {
+      case '{': {
+        ++pos_;
+        skip_ws();
+        if (eat('}')) {
+          ok = true;
+          break;
+        }
+        for (;;) {
+          skip_ws();
+          if (!string()) break;
+          skip_ws();
+          if (!eat(':')) {
+            fail("expected ':'");
+            break;
+          }
+          skip_ws();
+          if (!value()) break;
+          skip_ws();
+          if (eat(',')) continue;
+          ok = eat('}');
+          if (!ok) fail("expected ',' or '}'");
+          break;
+        }
+        break;
+      }
+      case '[': {
+        ++pos_;
+        skip_ws();
+        if (eat(']')) {
+          ok = true;
+          break;
+        }
+        for (;;) {
+          skip_ws();
+          if (!value()) break;
+          skip_ws();
+          if (eat(',')) continue;
+          ok = eat(']');
+          if (!ok) fail("expected ',' or ']'");
+          break;
+        }
+        break;
+      }
+      case '"':
+        ok = string();
+        break;
+      case 't':
+        ok = literal("true");
+        break;
+      case 'f':
+        ok = literal("false");
+        break;
+      case 'n':
+        ok = literal("null");
+        break;
+      default:
+        ok = number();
+    }
+    --depth_;
+    return ok;
+  }
+
+  std::string_view t_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text, std::string* error) {
+  return Checker(text).run(error);
+}
+
+}  // namespace dpmerge::obs

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace dpmerge::obs {
+
+/// Appends `s` to `out` as a JSON string literal (surrounding quotes plus
+/// RFC 8259 escaping; control characters become \u00XX).
+void json_append_quoted(std::string& out, std::string_view s);
+
+std::string json_quote(std::string_view s);
+
+/// Formats a double for JSON output. NaN/inf (not representable in JSON)
+/// are emitted as 0. The format is fixed ("%.6g"), so equal inputs always
+/// produce equal bytes — stats artifacts stay diffable.
+std::string json_number(double v);
+
+/// Checks that `text` is exactly one complete JSON value (objects, arrays,
+/// strings, numbers, true/false/null, arbitrary nesting). Used by the obs
+/// tests and CI smoke checks to validate emitted trace/stats artifacts.
+/// On failure returns false and, if `error` is non-null, a message with the
+/// byte offset of the first problem.
+bool json_valid(std::string_view text, std::string* error = nullptr);
+
+}  // namespace dpmerge::obs

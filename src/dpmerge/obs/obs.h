@@ -1,0 +1,20 @@
+#pragma once
+
+/// dpmerge::obs — tracing, counters and per-stage flow reports.
+///
+/// Umbrella header. The subsystem has three layers:
+///   - trace.h: Span (RAII scoped timer) + Tracer (per-thread buffers,
+///     Chrome trace_event JSON export for chrome://tracing / Perfetto).
+///   - stats.h: StatSink/StatScope (thread-local scoped counters) and the
+///     process-global Registry (counters / gauges / histograms).
+///   - flow_report.h: FlowReport/FlowScope — the per-stage breakdown
+///     synth::run_flow emits and the benches serialise via --stats-json.
+///
+/// Everything is near-zero-cost when idle (one relaxed atomic load per
+/// span, one TLS load per stat hook) and compiles out entirely with the
+/// CMake option -DDPMERGE_OBS=OFF (see DESIGN.md, "Observability").
+
+#include "dpmerge/obs/flow_report.h"
+#include "dpmerge/obs/json.h"
+#include "dpmerge/obs/stats.h"
+#include "dpmerge/obs/trace.h"

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpmerge::obs {
+
+/// Whether observability instrumentation was compiled in. The CMake option
+/// `DPMERGE_OBS=OFF` defines DPMERGE_OBS_DISABLED globally, turning spans,
+/// stat hooks and tracer activation into no-ops (the export machinery stays
+/// so `--trace`/`--stats-json` still emit valid, empty-ish artifacts).
+constexpr bool compiled_in() {
+#ifdef DPMERGE_OBS_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+/// Monotonic microsecond timestamp — the single time source every
+/// observability consumer (spans, FlowReport stage times, the timing
+/// optimizer's runtime accounting, bench harnesses) shares.
+std::int64_t now_us();
+
+/// One recorded event. `dur_us < 0` marks an instant event (Chrome phase
+/// "i"); otherwise a complete span (phase "X").
+struct TraceEvent {
+  std::string name;
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = -1;
+  std::uint32_t tid = 0;
+  std::string args;  ///< pre-rendered JSON object body ("{...}"), or empty
+};
+
+/// Builder for a trace event's `args` JSON object.
+class TraceArgs {
+ public:
+  TraceArgs& add(std::string_view key, std::int64_t v);
+  TraceArgs& add(std::string_view key, int v) {
+    return add(key, static_cast<std::int64_t>(v));
+  }
+  TraceArgs& add(std::string_view key, double v);
+  TraceArgs& add(std::string_view key, std::string_view v);
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+/// Process-wide span/event collector. Collection is off until `start()`;
+/// every recording site first checks `enabled()` (one relaxed atomic load),
+/// so an idle tracer costs a branch per span. Events go to per-thread
+/// buffers (no lock on the record path after a thread's first event) and
+/// are merged at export time into Chrome trace_event JSON — the format
+/// chrome://tracing and https://ui.perfetto.dev load directly.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  void start();
+  void stop() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all buffered events (buffers of live threads stay registered).
+  void clear();
+
+  std::size_t event_count() const;
+
+  /// Records a complete ("X", dur_us >= 0) or instant ("i") event into the
+  /// calling thread's buffer. Call only while `enabled()`.
+  void record(std::string name, std::int64_t ts_us, std::int64_t dur_us,
+              std::string args = {});
+
+  /// Merges every thread's buffer and writes `{"traceEvents": [...]}`.
+  /// Call after worker threads have quiesced (joined pool, etc.).
+  void write_json(std::ostream& os) const;
+  std::string json() const;
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct ThreadBuf {
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  Tracer() = default;
+  ThreadBuf& local_buf();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  ///< guards `bufs_` registration and export
+  std::vector<std::shared_ptr<ThreadBuf>> bufs_;
+  std::uint32_t next_tid_ = 1;
+};
+
+/// True when span/event recording is live right now. Guard any non-trivial
+/// args construction with this; in a DPMERGE_OBS=OFF build the condition is
+/// compile-time false and the whole block folds away.
+inline bool tracing() {
+  return compiled_in() && Tracer::instance().enabled();
+}
+
+#ifndef DPMERGE_OBS_DISABLED
+
+/// RAII scoped timer: records one complete event from construction to
+/// destruction. When the tracer is idle the constructor is a single atomic
+/// load and no clock is read.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (Tracer::instance().enabled()) {
+      name_ = name;
+      t0_ = now_us();
+    }
+  }
+  Span(const char* name, const TraceArgs& args) : Span(name) {
+    if (name_) args_ = args.str();
+  }
+  ~Span() {
+    if (name_) {
+      Tracer::instance().record(name_, t0_, now_us() - t0_, std::move(args_));
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::int64_t t0_ = 0;
+  std::string args_;
+};
+
+inline void instant(const char* name, std::string args = {}) {
+  Tracer& tr = Tracer::instance();
+  if (tr.enabled()) tr.record(name, now_us(), -1, std::move(args));
+}
+
+#else  // DPMERGE_OBS_DISABLED
+
+class Span {
+ public:
+  explicit Span(const char*) {}
+  Span(const char*, const TraceArgs&) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+inline void instant(const char*, std::string = {}) {}
+
+#endif  // DPMERGE_OBS_DISABLED
+
+}  // namespace dpmerge::obs

@@ -1,11 +1,12 @@
 #include "dpmerge/opt/timing_opt.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+
+#include "dpmerge/obs/obs.h"
 
 namespace dpmerge::opt {
 
@@ -45,7 +46,8 @@ void cross_check(const Sta& sta, const Netlist& net,
 
 TimingOptResult TimingOptimizer::optimize(Netlist& net,
                                           const TimingOptOptions& opt) const {
-  const auto t0 = std::chrono::steady_clock::now();
+  obs::Span span("opt.timing");
+  const std::int64_t t0 = obs::now_us();
   Sta sta(lib_);
   IncrementalSta ista(net, lib_);
   TimingOptResult res;
@@ -87,14 +89,28 @@ TimingOptResult TimingOptimizer::optimize(Netlist& net,
       ++g.drive;
       ista.update_drive_change(g.id);
       check();
-      if (ista.longest_path_ns() < before_ns - 1e-9) {
+      const double delta_ns = before_ns - ista.longest_path_ns();
+      if (delta_ns > 1e-9) {
         ++res.moves;
         applied = true;
+        obs::stat_add("opt.upsize.accept");
+        obs::stat_add("opt.slack_recovered_ps",
+                      static_cast<std::int64_t>(std::llround(delta_ns * 1e3)));
       } else {
         --g.drive;  // revert: the larger input cap hurt upstream more
         ista.update_drive_change(g.id);
         check();
         locked_upsize.insert(best_gate.value);
+        obs::stat_add("opt.upsize.reject");
+      }
+      if (obs::tracing()) {
+        obs::instant("opt.move",
+                     obs::TraceArgs()
+                         .add("kind", "upsize")
+                         .add("gate", best_gate.value)
+                         .add("delta_ps", static_cast<std::int64_t>(std::llround(delta_ns * 1e3)))
+                         .add("verdict", applied ? "accept" : "reject")
+                         .str());
       }
     }
 
@@ -140,9 +156,26 @@ TimingOptResult TimingOptimizer::optimize(Netlist& net,
         // scratch (buffer moves are rare next to drive changes).
         ista.rebuild();
         check();
-        if (rewired > 0 && ista.longest_path_ns() < before_ns - 1e-9) {
+        const double delta_ns = before_ns - ista.longest_path_ns();
+        if (rewired > 0 && delta_ns > 1e-9) {
           ++res.moves;
           applied = true;
+          obs::stat_add("opt.buffer.accept");
+          obs::stat_add(
+              "opt.slack_recovered_ps",
+              static_cast<std::int64_t>(std::llround(delta_ns * 1e3)));
+        } else {
+          obs::stat_add("opt.buffer.reject");
+        }
+        if (obs::tracing()) {
+          obs::instant("opt.move",
+                       obs::TraceArgs()
+                           .add("kind", "buffer")
+                           .add("net", worst.value)
+                           .add("rewired", rewired)
+                           .add("delta_ps", static_cast<std::int64_t>(std::llround(delta_ns * 1e3)))
+                           .add("verdict", applied ? "accept" : "reject")
+                           .str());
         }
         // Otherwise keep the (harmless) buffer and whatever timing
         // resulted; mark and move on.
@@ -175,6 +208,7 @@ TimingOptResult TimingOptimizer::optimize(Netlist& net,
         check();
         if (ista.longest_path_ns() <= opt.target_ns) {
           ++res.moves;
+          obs::stat_add("opt.downsize.accept");
         } else {
           ++g.drive;
           ista.update_drive_change(g.id);
@@ -188,9 +222,7 @@ TimingOptResult TimingOptimizer::optimize(Netlist& net,
   res.final_ns = ista.longest_path_ns();
   res.final_area = sta.area_scaled(net);
   res.met_target = res.final_ns <= opt.target_ns;
-  res.runtime_sec =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  res.runtime_sec = static_cast<double>(obs::now_us() - t0) * 1e-6;
   return res;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "dpmerge/obs/obs.h"
 #include "dpmerge/synth/csa_tree.h"
 
 namespace dpmerge::synth {
@@ -101,6 +102,12 @@ Signal synthesize_cluster(Netlist& net, const Graph& g, const Cluster& c,
                           const std::vector<Signal>& signals, AdderArch arch,
                           bool booth, ClusterSynthStats* stats) {
   const int W = g.node(c.root).width;
+  obs::Span span("synth.cluster",
+                 obs::TraceArgs()
+                     .add("root", static_cast<std::int64_t>(c.root.value))
+                     .add("width", W)
+                     .add("members", static_cast<std::int64_t>(c.nodes.size())));
+  obs::stat_add("synth.clusters");
   CsaTree tree(net, W);
   const auto flat = cluster::flatten_cluster(g, c);
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "dpmerge/obs/obs.h"
+
 namespace dpmerge::synth {
 
 using netlist::NetId;
@@ -162,6 +164,8 @@ Signal carry_select_add(Netlist& n, const Signal& a, const Signal& b,
 
 Signal cpa(Netlist& n, AdderArch arch, const Signal& a, const Signal& b,
            NetId cin) {
+  obs::stat_add("synth.cpa.count");
+  obs::stat_add("synth.cpa.bits", a.width());
   switch (arch) {
     case AdderArch::Ripple:
       return ripple_add(n, a, b, cin);

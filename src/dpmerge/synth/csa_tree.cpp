@@ -3,6 +3,8 @@
 #include <cassert>
 #include <tuple>
 
+#include "dpmerge/obs/obs.h"
+
 namespace dpmerge::synth {
 
 using netlist::NetId;
@@ -40,6 +42,8 @@ void CsaTree::add_constant(const BitVector& v) {
 }
 
 Signal CsaTree::reduce_and_sum(AdderArch arch) {
+  obs::Span span("synth.csa.reduce",
+                 obs::TraceArgs().add("width", width_).add("rows", rows_));
   stages_ = 0;
   // Dadda-style schedule: reduce to successive target heights 2, 3, 4, 6,
   // 9, 13, ... using full adders, with a half adder only when one bit over
@@ -82,6 +86,11 @@ Signal CsaTree::reduce_and_sum(AdderArch arch) {
     max_h = 0;
     for (const auto& col : columns_) max_h = std::max(max_h, col.size());
   }
+
+  obs::stat_add("synth.csa.trees");
+  obs::stat_add("synth.csa.rows", rows_);
+  obs::stat_add("synth.csa.stages", stages_);
+  obs::stat_max("synth.csa.max_stages", stages_);
 
   Signal a, b;
   for (int c = 0; c < width_; ++c) {

@@ -108,16 +108,31 @@ Netlist synthesize_partition(const Graph& g, const Partition& p,
   return net;
 }
 
-cluster::ClusterResult prepare_new_merge(Graph& g) {
+cluster::ClusterResult prepare_new_merge(Graph& g, obs::FlowScope* fs) {
+  auto stage = [&](const char* name) {
+    if (fs) fs->begin_stage(name, g.node_count(), g.edge_count());
+  };
+  auto done = [&] {
+    if (fs) fs->end_stage(g.node_count(), g.edge_count());
+  };
+
+  stage("normalize");
   transform::normalize_widths(g);
+  done();
+  stage("cluster");
   auto cr = cluster::cluster_maximal(g);
+  done();
   // Feed the rebalanced cluster-output bounds (Section 5.2) back into the
   // width transformations: a tighter bound can shrink the cluster root (and
   // everything required precision then caps), which can in turn merge more.
   for (int round = 0; round < 4; ++round) {
+    stage("normalize");
     const auto stats = transform::normalize_widths(g, 8, &cr.refinements);
+    done();
     if (!stats.changed()) break;
+    stage("cluster");
     auto next = cluster::cluster_maximal(g);
+    done();
     // Carry earlier refinements forward (they remain valid claims).
     for (std::size_t i = 0; i < cr.refinements.size(); ++i) {
       if (!cr.refinements[i]) continue;
@@ -129,33 +144,74 @@ cluster::ClusterResult prepare_new_merge(Graph& g) {
       }
     }
     next.iterations += cr.iterations;
+    next.per_iteration.insert(next.per_iteration.begin(),
+                              cr.per_iteration.begin(),
+                              cr.per_iteration.end());
     cr = std::move(next);
   }
   return cr;
 }
 
+void finalize_flow_report(obs::FlowReport& rep, const Graph& g,
+                          const Partition& p, const Netlist& net,
+                          const obs::StatSink& sink) {
+  int arith = 0;
+  for (const Node& n : g.nodes()) {
+    if (dfg::is_arith_operator(n.kind)) ++arith;
+  }
+  rep.merge_decisions = arith - p.num_clusters();
+  rep.csa_rows = sink.get("synth.csa.rows");
+  rep.cpa_count = sink.get("synth.cpa.count");
+  rep.cells_by_type.clear();
+  for (const netlist::Gate& gate : net.gates()) {
+    ++rep.cells_by_type[std::string(netlist::to_string(gate.type))];
+  }
+}
+
 FlowResult run_flow(const Graph& g, Flow flow, const SynthOptions& opt) {
   FlowResult res;
   res.graph = g;
-  InfoAnalysis ia;
-  switch (flow) {
-    case Flow::NoMerge:
-      res.partition = cluster::cluster_none(res.graph);
-      ia = analysis::compute_info_content(res.graph);
-      break;
-    case Flow::OldMerge:
-      res.partition = cluster::cluster_leakage(res.graph);
-      ia = analysis::compute_info_content(res.graph);
-      break;
-    case Flow::NewMerge: {
-      auto cr = prepare_new_merge(res.graph);
-      res.partition = std::move(cr.partition);
-      res.cluster_iterations = cr.iterations;
-      ia = std::move(cr.info);
-      break;
+  res.report.flow = std::string(to_string(flow));
+  obs::Span span(flow == Flow::NewMerge   ? "flow.new-merge"
+                 : flow == Flow::OldMerge ? "flow.old-merge"
+                                          : "flow.no-merge");
+  {
+    obs::FlowScope fs(&res.report);
+    InfoAnalysis ia;
+    switch (flow) {
+      case Flow::NoMerge:
+        fs.begin_stage("cluster", res.graph.node_count(),
+                       res.graph.edge_count());
+        res.partition = cluster::cluster_none(res.graph);
+        ia = analysis::compute_info_content(res.graph);
+        fs.end_stage(res.graph.node_count(), res.graph.edge_count());
+        break;
+      case Flow::OldMerge:
+        fs.begin_stage("cluster", res.graph.node_count(),
+                       res.graph.edge_count());
+        res.partition = cluster::cluster_leakage(res.graph);
+        ia = analysis::compute_info_content(res.graph);
+        fs.end_stage(res.graph.node_count(), res.graph.edge_count());
+        break;
+      case Flow::NewMerge: {
+        auto cr = prepare_new_merge(res.graph, &fs);
+        res.partition = std::move(cr.partition);
+        res.cluster_iterations = cr.iterations;
+        res.report.cluster_iterations = cr.iterations;
+        for (const auto& it : cr.per_iteration) {
+          res.report.iterations.push_back(
+              {it.clusters, it.merged_nodes, it.refined_roots});
+        }
+        ia = std::move(cr.info);
+        break;
+      }
     }
-  }
-  res.net = synthesize_partition(res.graph, res.partition, ia, opt);
+    fs.begin_stage("synth", res.graph.node_count(), res.graph.edge_count());
+    res.net = synthesize_partition(res.graph, res.partition, ia, opt);
+    fs.end_stage(res.net.gate_count(), res.net.net_count());
+    finalize_flow_report(res.report, res.graph, res.partition, res.net,
+                         fs.sink());
+  }  // ~FlowScope stamps total_us
   return res;
 }
 

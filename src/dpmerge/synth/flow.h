@@ -5,6 +5,7 @@
 #include "dpmerge/cluster/clusterer.h"
 #include "dpmerge/dfg/graph.h"
 #include "dpmerge/netlist/netlist.h"
+#include "dpmerge/obs/flow_report.h"
 #include "dpmerge/synth/cpa.h"
 
 namespace dpmerge::synth {
@@ -30,6 +31,10 @@ struct FlowResult {
   cluster::Partition partition;
   int cluster_iterations = 1;
   netlist::Netlist net;
+  /// Per-stage observability breakdown (times, merge decisions, CSA/CPA
+  /// structure, cell histogram). Always populated; near-free to fill when
+  /// the obs subsystem is compiled out (times/stats are then zero/empty).
+  obs::FlowReport report;
 };
 
 /// Runs a complete flow: (transform) -> cluster -> netlist. The netlist's
@@ -41,8 +46,20 @@ FlowResult run_flow(const dfg::Graph& g, Flow flow,
 /// The new-merge front-end in isolation: width normalisation and iterative
 /// maximal clustering, with the Huffman refinements fed back into further
 /// width pruning until a fixpoint (mutates `g`). Returns the final
-/// clustering.
-cluster::ClusterResult prepare_new_merge(dfg::Graph& g);
+/// clustering. When `fs` is given, the normalisation and clustering rounds
+/// are reported as "normalize"/"cluster" stages.
+cluster::ClusterResult prepare_new_merge(dfg::Graph& g,
+                                         obs::FlowScope* fs = nullptr);
+
+/// Fills a FlowReport's structural roll-ups from a finished flow: merge
+/// decisions (arithmetic operators absorbed into a consumer's cluster),
+/// CSA-tree rows and CPA counts (from the synth stage's sink counters), and
+/// the netlist's cell histogram. Shared by `run_flow` and the ablation
+/// bench's hand-driven flows.
+void finalize_flow_report(obs::FlowReport& rep, const dfg::Graph& g,
+                          const cluster::Partition& p,
+                          const netlist::Netlist& net,
+                          const obs::StatSink& sink);
 
 /// Synthesises a DFG given an existing partition (the flows above all land
 /// here; exposed for custom clusterings and the ablation bench).

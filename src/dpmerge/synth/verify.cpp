@@ -8,6 +8,7 @@
 
 #include "dpmerge/netlist/packed_sim.h"
 #include "dpmerge/netlist/sim.h"
+#include "dpmerge/obs/obs.h"
 
 namespace dpmerge::synth {
 
@@ -91,6 +92,7 @@ std::vector<std::vector<BitVector>> corner_stimuli(const Graph& g,
 
 bool verify_netlist(const Netlist& net, const Graph& g, int trials, Rng& rng,
                     std::string* why) {
+  obs::Span span("verify.netlist");
   dfg::Evaluator ev(g);
   PackedSimulator sim(net);
   const Bindings bind = resolve(net, g);
@@ -99,6 +101,8 @@ bool verify_netlist(const Netlist& net, const Graph& g, int trials, Rng& rng,
   // one packed netlist sweep, one scalar DFG evaluation per lane.
   auto check_batch =
       [&](const std::vector<std::vector<BitVector>>& stims) -> bool {
+    obs::stat_add("verify.batches");
+    obs::stat_add("verify.lanes", static_cast<std::int64_t>(stims.size()));
     std::vector<std::vector<BitVector>> bus_stims(stims.size());
     for (std::size_t L = 0; L < stims.size(); ++L) {
       bus_stims[L].reserve(bind.in_of_bus.size());
@@ -140,6 +144,7 @@ bool verify_netlist(const Netlist& net, const Graph& g, int trials, Rng& rng,
 
 bool verify_netlist_scalar(const Netlist& net, const Graph& g, int trials,
                            Rng& rng, std::string* why) {
+  obs::Span span("verify.netlist_scalar");
   dfg::Evaluator ev(g);
   Simulator sim(net);
   const Bindings bind = resolve(net, g);

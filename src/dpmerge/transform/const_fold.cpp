@@ -4,6 +4,8 @@
 #include <optional>
 #include <vector>
 
+#include "dpmerge/obs/obs.h"
+
 namespace dpmerge::transform {
 
 using dfg::Edge;
@@ -69,6 +71,7 @@ Graph eliminate_dead(const Graph& g) {
 }  // namespace
 
 Graph fold_constants(const Graph& g, FoldStats* stats) {
+  obs::Span span("transform.const_fold");
   Graph ng;
   std::vector<NodeId> map(static_cast<std::size_t>(g.node_count()), NodeId{});
   // Known constant value of each *old* node's result.
@@ -263,6 +266,11 @@ Graph fold_constants(const Graph& g, FoldStats* stats) {
     clone();
   }
 
+  if (obs::StatSink* sink = obs::current_sink()) {
+    sink->add("transform.fold.constants_folded", local.constants_folded);
+    sink->add("transform.fold.strength_reduced", local.strength_reduced);
+    sink->add("transform.fold.identities_removed", local.identities_removed);
+  }
   if (stats) *stats = local;
   return eliminate_dead(ng);
 }

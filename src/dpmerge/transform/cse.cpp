@@ -4,6 +4,8 @@
 #include <tuple>
 #include <vector>
 
+#include "dpmerge/obs/obs.h"
+
 namespace dpmerge::transform {
 
 using dfg::Edge;
@@ -28,6 +30,7 @@ using NodeKey =
 }  // namespace
 
 Graph share_common_subexpressions(const Graph& g, CseStats* stats) {
+  obs::Span span("transform.cse");
   Graph ng;
   std::vector<NodeId> map(static_cast<std::size_t>(g.node_count()), NodeId{});
   std::map<NodeKey, NodeId> seen;
@@ -88,6 +91,7 @@ Graph share_common_subexpressions(const Graph& g, CseStats* stats) {
     slot = nn;
   }
 
+  obs::stat_add("transform.cse.nodes_merged", local.nodes_merged);
   if (stats) *stats = local;
   return ng;
 }

@@ -7,6 +7,7 @@
 #include "dpmerge/analysis/info_content.h"
 #include "dpmerge/cluster/clusterer.h"
 #include "dpmerge/cluster/flatten.h"
+#include "dpmerge/obs/obs.h"
 
 namespace dpmerge::transform {
 
@@ -58,6 +59,8 @@ struct ItemOrder {
 }  // namespace
 
 Graph rebalance_clusters(const Graph& g, RebalanceStats* stats) {
+  obs::Span span("transform.rebalance");
+  int rebuilt = 0;
   const auto cr = cluster::cluster_maximal(g);
   const auto& ia = cr.info;
 
@@ -188,12 +191,16 @@ Graph rebalance_clusters(const Graph& g, RebalanceStats* stats) {
       top.out_width = W;
     }
     slot = top.node;
-    if (stats) ++stats->clusters_rebuilt;
+    ++rebuilt;
   }
 
   if (stats) {
+    stats->clusters_rebuilt = rebuilt;
     stats->max_depth_before = arith_depth(g);
     stats->max_depth_after = arith_depth(ng);
+  }
+  if (obs::StatSink* sink = obs::current_sink()) {
+    sink->add("transform.rebalance.clusters_rebuilt", rebuilt);
   }
   return ng;
 }

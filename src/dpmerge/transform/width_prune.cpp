@@ -5,6 +5,7 @@
 
 #include "dpmerge/analysis/info_content.h"
 #include "dpmerge/analysis/required_precision.h"
+#include "dpmerge/obs/obs.h"
 
 namespace dpmerge::transform {
 
@@ -185,12 +186,23 @@ PruneStats prune_info_content(Graph& g,
 
 PruneStats normalize_widths(Graph& g, int max_rounds,
                             const analysis::InfoRefinements* refinements) {
+  obs::Span span("transform.normalize_widths");
   PruneStats total;
+  int rounds = 0;
   for (int round = 0; round < max_rounds; ++round) {
     PruneStats s = prune_required_precision(g);
     s += prune_info_content(g, refinements);
     total += s;
+    ++rounds;
     if (!s.changed()) break;
+  }
+  if (obs::StatSink* sink = obs::current_sink()) {
+    sink->add("transform.prune.rounds", rounds);
+    sink->add("transform.prune.nodes_narrowed", total.nodes_narrowed);
+    sink->add("transform.prune.edges_narrowed", total.edges_narrowed);
+    sink->add("transform.prune.extensions_inserted",
+              total.extensions_inserted);
+    sink->add("transform.prune.bits_removed", total.bits_removed);
   }
   return total;
 }
