@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "dpmerge/check/check.h"
 #include "dpmerge/obs/obs.h"
 
 namespace dpmerge::bench {
@@ -22,6 +23,8 @@ namespace dpmerge::bench {
 ///   --stats-deterministic   zero wall-clock fields in the stats JSON so
 ///                           repeated runs are byte-identical
 ///   --threads <n>           pool width for parallel_for_cells (0 = auto)
+///   --check=<policy>        run flows with pass-boundary checks enabled
+///                           (off|errors|paranoid, default off)
 ///   --help                  print usage and exit
 struct BenchArgs {
   std::string stats_json;
@@ -41,7 +44,7 @@ inline BenchArgs parse_bench_args(int& argc, char** argv,
     std::fprintf(to,
                  "usage: %s [--stats-json <path>] [--trace <path>]\n"
                  "          [--seed <n>] [--stats-deterministic]"
-                 " [--threads <n>]\n",
+                 " [--threads <n>] [--check=<policy>]\n",
                  argc > 0 ? argv[0] : "bench");
   };
   int out = 1;
@@ -64,6 +67,13 @@ inline BenchArgs parse_bench_args(int& argc, char** argv,
       a.deterministic = true;
     } else if (arg == "--threads") {
       a.threads = std::atoi(value());
+    } else if (arg.rfind("--check=", 0) == 0) {
+      const auto p = check::parse_policy(arg.substr(8));
+      if (!p) {
+        std::fprintf(stderr, "bad --check policy '%s'\n", arg.c_str() + 8);
+        std::exit(2);
+      }
+      check::set_policy(*p);
     } else if (arg == "--help" && !allow_unknown) {
       usage(stdout);
       std::exit(0);

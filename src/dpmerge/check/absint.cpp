@@ -1,0 +1,519 @@
+#include "dpmerge/check/absint.h"
+
+#include <algorithm>
+#include <string>
+
+#include "dpmerge/obs/obs.h"
+
+namespace dpmerge::check {
+
+namespace {
+
+using analysis::InfoContent;
+using dfg::Edge;
+using dfg::EdgeId;
+using dfg::Graph;
+using dfg::Node;
+using dfg::NodeId;
+using dfg::OpKind;
+
+using u128 = unsigned __int128;
+
+/// Widest value the interval domain represents. Above this everything is
+/// top; 120 leaves headroom for pow2(w) in the claim-disjointness algebra.
+constexpr int kIntervalMaxWidth = 120;
+
+u128 pow2(int k) { return static_cast<u128>(1) << k; }
+
+/// Tri-state bit: the value of one bit across all stimuli.
+enum class Tri : unsigned char { F, T, U };
+
+Tri tri_of(const KnownBits& kb, int i) {
+  if (!kb.known.bit(i)) return Tri::U;
+  return kb.value.bit(i) ? Tri::T : Tri::F;
+}
+
+Tri tri_not(Tri a) {
+  if (a == Tri::U) return Tri::U;
+  return a == Tri::T ? Tri::F : Tri::T;
+}
+
+Tri tri_xor3(Tri a, Tri b, Tri c) {
+  if (a == Tri::U || b == Tri::U || c == Tri::U) return Tri::U;
+  const int ones = (a == Tri::T) + (b == Tri::T) + (c == Tri::T);
+  return (ones % 2) ? Tri::T : Tri::F;
+}
+
+/// Majority of three tri-state bits: decided as soon as two agree.
+Tri tri_maj3(Tri a, Tri b, Tri c) {
+  const int t = (a == Tri::T) + (b == Tri::T) + (c == Tri::T);
+  const int f = (a == Tri::F) + (b == Tri::F) + (c == Tri::F);
+  if (t >= 2) return Tri::T;
+  if (f >= 2) return Tri::F;
+  return Tri::U;
+}
+
+void set_tri(KnownBits& kb, int i, Tri v) {
+  if (v == Tri::U) return;  // top(w) starts all-unknown
+  kb.known.set_bit(i, true);
+  kb.value.set_bit(i, v == Tri::T);
+}
+
+bool fits_u128(int w) { return w <= kIntervalMaxWidth; }
+
+u128 to_u128(const BitVector& v) {
+  u128 r = 0;
+  for (int i = v.width() - 1; i >= 0; --i) {
+    r = (r << 1) | static_cast<u128>(v.bit(i) ? 1 : 0);
+  }
+  return r;
+}
+
+Interval interval_top() { return Interval{}; }
+
+Interval interval_full(int w) {
+  if (!fits_u128(w)) return interval_top();
+  return Interval{true, 0, pow2(w) - 1};
+}
+
+Interval interval_const(u128 v) { return Interval{true, v, v}; }
+
+// ---------------------------------------------------- interval transfers --
+
+Interval itv_add(const Interval& a, const Interval& b, int w) {
+  if (!a.valid || !b.valid || !fits_u128(w)) return interval_top();
+  const u128 hi = a.hi + b.hi;  // both < 2^120, no u128 overflow
+  if (hi >= pow2(w)) return interval_full(w);
+  return Interval{true, a.lo + b.lo, hi};
+}
+
+Interval itv_sub(const Interval& a, const Interval& b, int w) {
+  if (!a.valid || !b.valid || !fits_u128(w)) return interval_top();
+  if (a.lo < b.hi) return interval_full(w);  // could wrap below zero
+  return Interval{true, a.lo - b.hi, a.hi - b.lo};
+}
+
+Interval itv_mul(const Interval& a, const Interval& b, int w) {
+  if (!a.valid || !b.valid || !fits_u128(w)) return interval_top();
+  if (a.hi >= pow2(60) || b.hi >= pow2(60)) return interval_top();
+  const u128 hi = a.hi * b.hi;  // < 2^120
+  if (hi >= pow2(w)) return interval_full(w);
+  return Interval{true, a.lo * b.lo, hi};
+}
+
+Interval itv_neg(const Interval& a, int w) {
+  if (!a.valid || !fits_u128(w)) return interval_top();
+  if (a.lo == 0 && a.hi == 0) return interval_const(0);
+  if (a.lo == 0) return interval_full(w);  // {0} u [2^w-hi, 2^w-1] splits
+  return Interval{true, pow2(w) - a.hi, pow2(w) - a.lo};
+}
+
+Interval itv_shl(const Interval& a, int s, int w) {
+  if (!a.valid || !fits_u128(w) || s < 0) return interval_top();
+  if (s >= w) return interval_const(0);
+  if (a.hi >= pow2(kIntervalMaxWidth - s)) return interval_top();
+  const u128 hi = a.hi << s;
+  if (hi >= pow2(w)) return interval_full(w);
+  return Interval{true, a.lo << s, hi};
+}
+
+Interval itv_resize(const Interval& a, int from_w, int to_w, Sign sign) {
+  if (!a.valid || !fits_u128(to_w) || !fits_u128(from_w)) {
+    return interval_top();
+  }
+  if (to_w <= from_w) {
+    if (to_w == from_w) return a;
+    if (a.hi < pow2(to_w)) return a;  // truncation drops nothing
+    return interval_full(to_w);
+  }
+  if (sign == Sign::Unsigned || from_w == 0) return a;
+  const u128 half = pow2(from_w - 1);
+  if (a.hi < half) return a;  // sign bit 0 throughout: zero-extension
+  if (a.lo >= half) {         // sign bit 1 throughout: fixed offset
+    const u128 offset = pow2(to_w) - pow2(from_w);
+    return Interval{true, a.lo + offset, a.hi + offset};
+  }
+  return interval_full(to_w);
+}
+
+// -------------------------------------------------- known-bits transfers --
+
+KnownBits kb_resize(const KnownBits& a, int to_w, Sign sign) {
+  const int w = a.width();
+  KnownBits r = KnownBits::top(to_w);
+  const Tri fill = (sign == Sign::Signed && w > 0) ? tri_of(a, w - 1) : Tri::F;
+  for (int i = 0; i < to_w; ++i) {
+    set_tri(r, i, i < w ? tri_of(a, i) : fill);
+  }
+  return r;
+}
+
+/// Ripple addition of a + b + carry_in over tri-state bits.
+KnownBits kb_add(const KnownBits& a, const KnownBits& b, Tri carry,
+                 bool invert_b) {
+  const int w = a.width();
+  KnownBits r = KnownBits::top(w);
+  for (int i = 0; i < w; ++i) {
+    const Tri ai = tri_of(a, i);
+    const Tri bi = invert_b ? tri_not(tri_of(b, i)) : tri_of(b, i);
+    set_tri(r, i, tri_xor3(ai, bi, carry));
+    carry = tri_maj3(ai, bi, carry);
+  }
+  return r;
+}
+
+KnownBits kb_mul(const KnownBits& a, const KnownBits& b) {
+  const int w = a.width();
+  if (a.all_known() && b.all_known()) {
+    return KnownBits::constant(a.value.mul(b.value));
+  }
+  KnownBits r = KnownBits::top(w);
+  const int tz = std::min(
+      w, a.known_trailing_zeros() + b.known_trailing_zeros());
+  for (int i = 0; i < tz; ++i) set_tri(r, i, Tri::F);
+  return r;
+}
+
+KnownBits kb_shl(const KnownBits& a, int s) {
+  const int w = a.width();
+  KnownBits r = KnownBits::top(w);
+  for (int i = 0; i < w; ++i) {
+    set_tri(r, i, i < s ? Tri::F : tri_of(a, i - s));
+  }
+  return r;
+}
+
+/// A 1-bit truth value zero-padded to `w` bits (comparator results).
+KnownBits kb_bool(int w, Tri bit0) {
+  KnownBits r = KnownBits::top(w);
+  set_tri(r, 0, bit0);
+  for (int i = 1; i < w; ++i) set_tri(r, i, Tri::F);
+  return r;
+}
+
+Tri decide_ltu(const AbstractValue& a, const AbstractValue& b) {
+  if (a.range.valid && b.range.valid) {
+    if (a.range.hi < b.range.lo) return Tri::T;
+    if (a.range.lo >= b.range.hi) return Tri::F;
+  }
+  return Tri::U;
+}
+
+Tri decide_lts(const AbstractValue& a, const AbstractValue& b) {
+  if (a.bits.all_known() && b.bits.all_known()) {
+    return a.bits.value.signed_lt(b.bits.value) ? Tri::T : Tri::F;
+  }
+  return Tri::U;
+}
+
+Tri decide_eq(const AbstractValue& a, const AbstractValue& b) {
+  const int w = a.width();
+  bool all_known_equal = true;
+  for (int i = 0; i < w; ++i) {
+    const Tri ai = tri_of(a.bits, i);
+    const Tri bi = tri_of(b.bits, i);
+    if (ai == Tri::U || bi == Tri::U) {
+      all_known_equal = false;
+    } else if (ai != bi) {
+      return Tri::F;  // a bit differs on every stimulus
+    }
+  }
+  if (all_known_equal) return Tri::T;
+  if (a.range.valid && b.range.valid &&
+      (a.range.hi < b.range.lo || b.range.hi < a.range.lo)) {
+    return Tri::F;
+  }
+  return Tri::U;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- KnownBits --
+
+KnownBits KnownBits::constant(const BitVector& v) {
+  BitVector known(v.width());
+  for (int i = 0; i < v.width(); ++i) known.set_bit(i, true);
+  return {known, v};
+}
+
+bool KnownBits::all_known() const {
+  for (int i = 0; i < width(); ++i) {
+    if (!known.bit(i)) return false;
+  }
+  return true;
+}
+
+int KnownBits::known_trailing_zeros() const {
+  int n = 0;
+  while (n < width() && known.bit(n) && !value.bit(n)) ++n;
+  return n;
+}
+
+// --------------------------------------------------------- AbstractValue --
+
+AbstractValue AbstractValue::top(int w) {
+  return {KnownBits::top(w), interval_full(w)};
+}
+
+AbstractValue AbstractValue::constant(const BitVector& v) {
+  AbstractValue av{KnownBits::constant(v), interval_top()};
+  if (fits_u128(v.width())) av.range = interval_const(to_u128(v));
+  return av;
+}
+
+bool contains(const AbstractValue& av, const BitVector& v) {
+  if (v.width() != av.width()) return false;
+  for (int i = 0; i < v.width(); ++i) {
+    if (av.bits.known.bit(i) && av.bits.value.bit(i) != v.bit(i)) {
+      return false;
+    }
+  }
+  if (av.range.valid && fits_u128(v.width())) {
+    const u128 x = to_u128(v);
+    if (x < av.range.lo || x > av.range.hi) return false;
+  }
+  return true;
+}
+
+AbstractValue abstract_resize(const AbstractValue& av, int to_width,
+                              Sign sign) {
+  return {kb_resize(av.bits, to_width, sign),
+          itv_resize(av.range, av.width(), to_width, sign)};
+}
+
+// ------------------------------------------------------ forward analysis --
+
+AbstractAnalysis compute_abstract(const Graph& g) {
+  obs::Span span("check.absint");
+  AbstractAnalysis aa;
+  aa.at_output_port.resize(static_cast<std::size_t>(g.node_count()));
+  aa.at_edge.resize(static_cast<std::size_t>(g.edge_count()));
+  aa.at_operand.resize(static_cast<std::size_t>(g.edge_count()));
+
+  auto operand = [&](EdgeId eid) -> const AbstractValue& {
+    return aa.at_operand[static_cast<std::size_t>(eid.value)];
+  };
+
+  for (NodeId id : g.topo_order()) {
+    const Node& n = g.node(id);
+    // Deliver operands: first resize onto the edge, second onto the node.
+    for (EdgeId eid : n.in) {
+      const Edge& e = g.edge(eid);
+      const AbstractValue carried = abstract_resize(
+          aa.out(e.src), e.width, e.sign);
+      aa.at_edge[static_cast<std::size_t>(eid.value)] = carried;
+      aa.at_operand[static_cast<std::size_t>(eid.value)] =
+          n.kind == OpKind::Extension
+              ? abstract_resize(carried, n.width, n.ext_sign)
+              : abstract_resize(carried, n.width, e.sign);
+    }
+
+    AbstractValue& out = aa.at_output_port[static_cast<std::size_t>(id.value)];
+    switch (n.kind) {
+      case OpKind::Input:
+        out = AbstractValue::top(n.width);
+        break;
+      case OpKind::Const:
+        out = AbstractValue::constant(n.value);
+        break;
+      case OpKind::Output:
+      case OpKind::Extension:
+        out = operand(n.in[0]);
+        break;
+      case OpKind::Add: {
+        const AbstractValue& a = operand(n.in[0]);
+        const AbstractValue& b = operand(n.in[1]);
+        out = {kb_add(a.bits, b.bits, Tri::F, /*invert_b=*/false),
+               itv_add(a.range, b.range, n.width)};
+        break;
+      }
+      case OpKind::Sub: {
+        const AbstractValue& a = operand(n.in[0]);
+        const AbstractValue& b = operand(n.in[1]);
+        out = {kb_add(a.bits, b.bits, Tri::T, /*invert_b=*/true),
+               itv_sub(a.range, b.range, n.width)};
+        break;
+      }
+      case OpKind::Mul: {
+        const AbstractValue& a = operand(n.in[0]);
+        const AbstractValue& b = operand(n.in[1]);
+        out = {kb_mul(a.bits, b.bits), itv_mul(a.range, b.range, n.width)};
+        break;
+      }
+      case OpKind::Neg: {
+        const AbstractValue& a = operand(n.in[0]);
+        out = {kb_add(KnownBits::constant(BitVector(n.width)), a.bits, Tri::T,
+                      /*invert_b=*/true),
+               itv_neg(a.range, n.width)};
+        break;
+      }
+      case OpKind::Shl: {
+        const AbstractValue& a = operand(n.in[0]);
+        out = {kb_shl(a.bits, n.shift), itv_shl(a.range, n.shift, n.width)};
+        break;
+      }
+      case OpKind::LtS:
+      case OpKind::LtU:
+      case OpKind::Eq: {
+        const AbstractValue& a = operand(n.in[0]);
+        const AbstractValue& b = operand(n.in[1]);
+        const Tri r = n.kind == OpKind::LtS   ? decide_lts(a, b)
+                      : n.kind == OpKind::LtU ? decide_ltu(a, b)
+                                              : decide_eq(a, b);
+        out.bits = kb_bool(n.width, r);
+        out.range = fits_u128(n.width)
+                        ? Interval{true, r == Tri::T ? 1u : 0u,
+                                   r == Tri::F ? 0u : 1u}
+                        : interval_top();
+        break;
+      }
+    }
+  }
+  return aa;
+}
+
+// ------------------------------------------------------------------ lint --
+
+bool contradicts(const AbstractValue& av, InfoContent c) {
+  const int w = av.width();
+  if (c.width >= w) return false;  // claims at full width are vacuous
+  const KnownBits& kb = av.bits;
+  const Interval& itv = av.range;
+  if (c.sign == Sign::Unsigned || c.width == 0) {
+    // The claim pins bits [c.width, w) to zero (a signed claim of width 0
+    // also concretises to exactly {0}).
+    for (int j = c.width; j < w; ++j) {
+      if (kb.known.bit(j) && kb.value.bit(j)) return true;
+    }
+    if (itv.valid && fits_u128(c.width) && itv.lo >= pow2(c.width)) {
+      return true;
+    }
+    return false;
+  }
+  // Signed claim: bits [c.width - 1, w) must all be equal.
+  Tri seen = Tri::U;
+  for (int j = c.width - 1; j < w; ++j) {
+    const Tri t = tri_of(kb, j);
+    if (t == Tri::U) continue;
+    if (seen == Tri::U) {
+      seen = t;
+    } else if (seen != t) {
+      return true;
+    }
+  }
+  // Sign-extended values concretise to [0, 2^(i-1)) u [2^w - 2^(i-1), 2^w).
+  if (itv.valid && fits_u128(w)) {
+    const u128 half = pow2(c.width - 1);
+    if (itv.lo >= half && itv.hi < pow2(w) - half) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Cross-domain consistency: a fully known bit pattern must lie inside the
+/// interval. Failure is a checker bug (absint.internal), never an analysis
+/// bug — kept as a cheap self-diagnostic.
+void self_check(const AbstractAnalysis& aa, CheckReport& rep) {
+  for (std::size_t i = 0; i < aa.at_output_port.size(); ++i) {
+    const AbstractValue& av = aa.at_output_port[i];
+    if (!av.range.valid || !fits_u128(av.width()) || !av.bits.all_known()) {
+      continue;
+    }
+    const u128 v = to_u128(av.bits.value);
+    if (v < av.range.lo || v > av.range.hi) {
+      rep.add(Severity::Error, "absint.internal",
+              "known-bits and interval domains are disjoint",
+              Locus{"node", static_cast<int>(i), -1, {}});
+    }
+  }
+}
+
+void lint_claim(const AbstractValue& av, InfoContent c, int port_width,
+                Locus locus, const char* what, CheckReport& rep) {
+  if (c.width < 0 || c.width > port_width) {
+    rep.add(Severity::Error, "ic.malformed",
+            std::string(what) + " claim " + c.to_string() +
+                " outside [0, " + std::to_string(port_width) + "]",
+            std::move(locus));
+    return;
+  }
+  if (contradicts(av, c)) {
+    rep.add(Severity::Error, "ic.unsound",
+            std::string(what) + " claim " + c.to_string() +
+                " is violated by every reachable value (abstract "
+                "interpretation proves the claimed extension bits differ)",
+            std::move(locus));
+  }
+}
+
+}  // namespace
+
+CheckReport lint_info_content(const Graph& g, const analysis::InfoAnalysis& ia,
+                              const AbstractAnalysis* pre) {
+  obs::Span span("check.lint.info_content");
+  CheckReport rep;
+  const auto nn = static_cast<std::size_t>(g.node_count());
+  const auto ne = static_cast<std::size_t>(g.edge_count());
+  if (ia.at_output_port.size() != nn || ia.at_edge.size() != ne ||
+      ia.at_operand.size() != ne) {
+    rep.add(Severity::Error, "ic.stale",
+            "info-content vectors sized for " +
+                std::to_string(ia.at_output_port.size()) + " nodes / " +
+                std::to_string(ia.at_edge.size()) +
+                " edges, graph has " + std::to_string(nn) + " / " +
+                std::to_string(ne) +
+                " (graph mutated after the analysis ran)");
+    return rep;
+  }
+
+  AbstractAnalysis local;
+  const AbstractAnalysis& aa = pre ? *pre : (local = compute_abstract(g));
+  self_check(aa, rep);
+
+  for (const Node& n : g.nodes()) {
+    lint_claim(aa.out(n.id), ia.out(n.id), n.width,
+               Locus{"node", n.id.value, -1, n.name}, "output-port", rep);
+  }
+  for (const Edge& e : g.edges()) {
+    lint_claim(aa.edge(e.id), ia.edge(e.id), e.width,
+               Locus{"edge", e.id.value, -1, {}}, "carried-edge", rep);
+    const Node& dst = g.node(e.dst);
+    lint_claim(aa.operand(e.id), ia.operand(e.id), dst.width,
+               Locus{"edge", e.id.value, e.dst_port, {}}, "operand", rep);
+  }
+  return rep;
+}
+
+CheckReport lint_required_precision(const Graph& g,
+                                    const analysis::RequiredPrecision& rp) {
+  obs::Span span("check.lint.required_precision");
+  CheckReport rep;
+  const auto nn = static_cast<std::size_t>(g.node_count());
+  if (rp.at_output_port.size() != nn || rp.at_input_port.size() != nn) {
+    rep.add(Severity::Error, "rp.stale",
+            "required-precision vectors sized for " +
+                std::to_string(rp.at_output_port.size()) +
+                " nodes, graph has " + std::to_string(nn) +
+                " (graph mutated after the analysis ran)");
+    return rep;
+  }
+  const analysis::RequiredPrecision fresh =
+      analysis::compute_required_precision(g);
+  for (const Node& n : g.nodes()) {
+    const auto i = static_cast<std::size_t>(n.id.value);
+    if (rp.at_output_port[i] != fresh.at_output_port[i] ||
+        rp.at_input_port[i] != fresh.at_input_port[i]) {
+      rep.add(Severity::Error, "rp.stale",
+              "stored r(out)=" + std::to_string(rp.at_output_port[i]) +
+                  " r(in)=" + std::to_string(rp.at_input_port[i]) +
+                  ", fresh derivation gives r(out)=" +
+                  std::to_string(fresh.at_output_port[i]) + " r(in)=" +
+                  std::to_string(fresh.at_input_port[i]),
+              Locus{"node", n.id.value, -1, n.name});
+    }
+  }
+  return rep;
+}
+
+}  // namespace dpmerge::check

@@ -1,0 +1,103 @@
+#include "dpmerge/check/diagnostic.h"
+
+#include <sstream>
+
+#include "dpmerge/obs/json.h"
+
+namespace dpmerge::check {
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Locus::to_string() const {
+  if (kind.empty()) return {};
+  std::ostringstream os;
+  os << kind;
+  if (id >= 0) os << " " << id;
+  if (aux >= 0) os << (kind == "line" ? ":" : ".") << aux;
+  if (!name.empty()) os << " '" << name << "'";
+  return os.str();
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << check::to_string(severity) << " [" << rule << "]";
+  const std::string at = locus.to_string();
+  if (!at.empty()) os << " at " << at;
+  os << ": " << message;
+  return os.str();
+}
+
+void CheckReport::add(Severity severity, std::string rule, std::string message,
+                      Locus locus) {
+  if (severity == Severity::Error) ++errors_;
+  if (severity == Severity::Warning) ++warnings_;
+  diags_.push_back(Diagnostic{severity, std::move(rule), std::move(message),
+                              std::move(locus)});
+}
+
+void CheckReport::merge(CheckReport other) {
+  errors_ += other.errors_;
+  warnings_ += other.warnings_;
+  diags_.insert(diags_.end(), std::make_move_iterator(other.diags_.begin()),
+                std::make_move_iterator(other.diags_.end()));
+}
+
+bool CheckReport::has_rule(std::string_view rule) const {
+  for (const Diagnostic& d : diags_) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+int CheckReport::count_rule(std::string_view rule) const {
+  int n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.rule == rule) ++n;
+  }
+  return n;
+}
+
+std::string CheckReport::to_text() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += d.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+void CheckReport::to_json(std::string& out) const {
+  out += "{\"errors\":" + std::to_string(errors_);
+  out += ",\"warnings\":" + std::to_string(warnings_);
+  out += ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    if (i) out += ",";
+    out += "{\"severity\":";
+    obs::json_append_quoted(out, check::to_string(d.severity));
+    out += ",\"rule\":";
+    obs::json_append_quoted(out, d.rule);
+    out += ",\"message\":";
+    obs::json_append_quoted(out, d.message);
+    out += ",\"locus\":{\"kind\":";
+    obs::json_append_quoted(out, d.locus.kind);
+    out += ",\"id\":" + std::to_string(d.locus.id);
+    out += ",\"aux\":" + std::to_string(d.locus.aux);
+    out += ",\"name\":";
+    obs::json_append_quoted(out, d.locus.name);
+    out += "}}";
+  }
+  out += "]}";
+}
+
+}  // namespace dpmerge::check

@@ -1,0 +1,86 @@
+#include <string>
+
+#include "dpmerge/check/absint.h"
+#include "dpmerge/check/check.h"
+#include "dpmerge/obs/obs.h"
+
+namespace dpmerge::check {
+
+std::string_view to_string(CheckPolicy p) {
+  switch (p) {
+    case CheckPolicy::Off:
+      return "off";
+    case CheckPolicy::Errors:
+      return "errors";
+    case CheckPolicy::Paranoid:
+      return "paranoid";
+  }
+  return "off";
+}
+
+std::optional<CheckPolicy> parse_policy(std::string_view s) {
+  if (s == "off" || s == "0") return CheckPolicy::Off;
+  if (s == "errors" || s == "1") return CheckPolicy::Errors;
+  if (s == "paranoid" || s == "2") return CheckPolicy::Paranoid;
+  return std::nullopt;
+}
+
+namespace {
+
+std::string failure_message(std::string_view site, const CheckReport& rep) {
+  std::string msg = "check failed at ";
+  msg += site;
+  msg += ":\n";
+  msg += rep.to_text();
+  return msg;
+}
+
+/// Route findings into the current stat sink so they appear in FlowReport
+/// stage stats and --stats-json artifacts, then throw on any Error.
+void account_and_throw(const CheckReport& rep, std::string_view site) {
+  obs::stat_add("check.runs");
+  if (rep.errors() > 0) obs::stat_add("check.errors", rep.errors());
+  if (rep.warnings() > 0) obs::stat_add("check.warnings", rep.warnings());
+  for (const Diagnostic& d : rep.diagnostics()) {
+    obs::stat_add("check.rule." + d.rule);
+  }
+  if (!rep.ok()) throw CheckFailure(std::string(site), rep);
+}
+
+}  // namespace
+
+CheckFailure::CheckFailure(std::string site, CheckReport report)
+    : std::runtime_error(failure_message(site, report)),
+      site_(std::move(site)),
+      report_(std::move(report)) {}
+
+namespace detail {
+
+void do_enforce(const dfg::Graph& g, std::string_view site) {
+  account_and_throw(verify(g), site);
+}
+
+void do_enforce(const netlist::Netlist& n, std::string_view site) {
+  // Warnings off at every boundary: synthesized netlists keep unread helper
+  // gates by design, and boundary checks only gate on errors anyway. The SCC
+  // loop sweep — as expensive as synthesis itself on large netlists — runs
+  // under Paranoid only; Errors keeps the linear sweeps so production flows
+  // can leave it on (see EXPERIMENTS.md, "Checking overhead").
+  NetVerifyOptions opts;
+  opts.warnings = false;
+  opts.comb_loops = policy() == CheckPolicy::Paranoid;
+  account_and_throw(verify(n, nullptr, opts), site);
+}
+
+void do_enforce_analyses(const dfg::Graph& g,
+                         const analysis::InfoAnalysis& ia,
+                         const analysis::RequiredPrecision* rp,
+                         std::string_view site) {
+  CheckReport rep = lint_info_content(g, ia);
+  if (rp != nullptr) rep.merge(lint_required_precision(g, *rp));
+  account_and_throw(rep, site);
+}
+
+}  // namespace detail
+
+}  // namespace dpmerge::check

@@ -1,0 +1,308 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "dpmerge/check/check.h"
+#include "dpmerge/obs/obs.h"
+
+namespace dpmerge::check {
+
+namespace {
+
+using netlist::Bus;
+using netlist::CellLibrary;
+using netlist::Gate;
+using netlist::NetId;
+using netlist::Netlist;
+
+/// Iterative Tarjan SCC over the gate graph (gate -> gates reading its
+/// output), given in CSR form: gate g's successors are
+/// readers[offsets[g] .. offsets[g+1]). Appends one finding per non-trivial
+/// SCC; self-loops (a gate reading its own output) count as non-trivial.
+void check_comb_loops(const Netlist& n, const std::vector<int>& offsets,
+                      const std::vector<int>& readers, CheckReport& rep) {
+  const int ng = n.gate_count();
+  auto succ_begin = [&](std::size_t g) {
+    return static_cast<std::size_t>(offsets[g]);
+  };
+  auto succ_count = [&](std::size_t g) {
+    return static_cast<std::size_t>(offsets[g + 1] - offsets[g]);
+  };
+  constexpr int kUnvisited = -1;
+  std::vector<int> index(static_cast<std::size_t>(ng), kUnvisited);
+  std::vector<int> lowlink(static_cast<std::size_t>(ng), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(ng), false);
+  std::vector<int> stack;
+  int next_index = 0;
+
+  struct Frame {
+    int gate;
+    std::size_t child;
+  };
+  std::vector<Frame> dfs;
+  std::vector<int> scc;  // hoisted: every gate closes an SCC on acyclic nets
+
+  for (int root = 0; root < ng; ++root) {
+    if (index[static_cast<std::size_t>(root)] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const auto gi = static_cast<std::size_t>(f.gate);
+      if (f.child == 0) {
+        index[gi] = lowlink[gi] = next_index++;
+        stack.push_back(f.gate);
+        on_stack[gi] = true;
+      }
+      if (f.child < succ_count(gi)) {
+        const int succ = readers[succ_begin(gi) + f.child++];
+        const auto si = static_cast<std::size_t>(succ);
+        if (index[si] == kUnvisited) {
+          dfs.push_back({succ, 0});
+        } else if (on_stack[si]) {
+          lowlink[gi] = std::min(lowlink[gi], index[si]);
+        }
+        continue;
+      }
+      // Finished this gate: close the SCC if it is a root.
+      if (lowlink[gi] == index[gi]) {
+        scc.clear();
+        for (;;) {
+          const int m = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(m)] = false;
+          scc.push_back(m);
+          if (m == f.gate) break;
+        }
+        const auto succ_first = readers.begin() +
+                                static_cast<std::ptrdiff_t>(succ_begin(gi));
+        const bool self_loop =
+            scc.size() == 1 &&
+            std::find(succ_first,
+                      succ_first + static_cast<std::ptrdiff_t>(succ_count(gi)),
+                      f.gate) != succ_first + static_cast<std::ptrdiff_t>(
+                                                  succ_count(gi));
+        if (scc.size() > 1 || self_loop) {
+          std::sort(scc.begin(), scc.end());
+          std::string members;
+          for (std::size_t i = 0; i < scc.size() && i < 8; ++i) {
+            if (i) members += " ";
+            members += std::to_string(scc[i]);
+          }
+          if (scc.size() > 8) members += " ...";
+          rep.add(Severity::Error, "net.comb-loop",
+                  "combinational loop through " + std::to_string(scc.size()) +
+                      " gate(s) {" + members + "}",
+                  Locus{"gate", scc.front(), -1, {}});
+        }
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        Frame& parent = dfs.back();
+        const auto pi = static_cast<std::size_t>(parent.gate);
+        lowlink[pi] = std::min(lowlink[pi], lowlink[gi]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CheckReport verify(const Netlist& n, const CellLibrary* lib,
+                   NetVerifyOptions opts) {
+  (void)lib;  // the drive-level bound is uniform across library instances
+  obs::Span span("check.verify.netlist");
+  CheckReport rep;
+  const int nets = n.net_count();
+  const int ng = n.gate_count();
+  auto net_ok = [&](NetId id) { return id.value >= 0 && id.value < nets; };
+
+  // Byte flags, not vector<bool>: the census sweep is the whole cost of the
+  // Errors-policy boundary check and bit RMWs show up at this scale.
+  std::vector<int> drivers(static_cast<std::size_t>(nets), 0);
+  std::vector<unsigned char> is_pi(static_cast<std::size_t>(nets), 0);
+  std::vector<unsigned char> is_read(static_cast<std::size_t>(nets), 0);
+  if (nets >= 2) is_pi[0] = is_pi[1] = 1;  // designated constants
+
+  for (const Bus& b : n.inputs()) {
+    for (NetId bit : b.signal.bits) {
+      if (!net_ok(bit)) {
+        rep.add(Severity::Error, "net.range",
+                "input bus '" + b.name + "' references net " +
+                    std::to_string(bit.value) + " out of range",
+                Locus{"net", bit.value, -1, b.name});
+        continue;
+      }
+      is_pi[static_cast<std::size_t>(bit.value)] = 1;
+    }
+  }
+
+  // First sweep: structural gate checks + driver census. The Locus is built
+  // lazily — constructing one per gate shows up on the enforce hot path.
+  for (int gi = 0; gi < ng; ++gi) {
+    const Gate& g = n.gates()[static_cast<std::size_t>(gi)];
+    auto at = [gi] { return Locus{"gate", gi, -1, {}}; };
+    if (g.id.value != gi) {
+      rep.add(Severity::Error, "net.gate.id",
+              "gate at index " + std::to_string(gi) + " carries id " +
+                  std::to_string(g.id.value),
+              at());
+    }
+    const int want = netlist::cell_input_count(g.type);
+    if (static_cast<int>(g.inputs.size()) != want) {
+      rep.add(Severity::Error, "net.gate.arity",
+              std::string(netlist::to_string(g.type)) + " gate " +
+                  std::to_string(gi) + ": expected " + std::to_string(want) +
+                  " input pin(s), has " + std::to_string(g.inputs.size()),
+              at());
+    }
+    if (g.drive < 0 || g.drive >= netlist::kDriveLevels) {
+      rep.add(Severity::Error, "net.gate.drive",
+              "gate " + std::to_string(gi) + ": drive index " +
+                  std::to_string(g.drive) + " outside the library's " +
+                  std::to_string(netlist::kDriveLevels) + " variants",
+              at());
+    }
+    for (NetId in : g.inputs) {
+      if (!net_ok(in)) {
+        rep.add(Severity::Error, "net.range",
+                "gate " + std::to_string(gi) + " reads net " +
+                    std::to_string(in.value) + " out of range",
+                at());
+        continue;
+      }
+      is_read[static_cast<std::size_t>(in.value)] = 1;
+    }
+    if (!net_ok(g.output)) {
+      rep.add(Severity::Error, "net.range",
+              "gate " + std::to_string(gi) + " drives net " +
+                  std::to_string(g.output.value) + " out of range",
+              at());
+      continue;
+    }
+    ++drivers[static_cast<std::size_t>(g.output.value)];
+    if (n.is_const(g.output)) {
+      rep.add(Severity::Error, "net.const-driven",
+              "gate " + std::to_string(gi) + " drives constant net " +
+                  std::to_string(g.output.value),
+              at());
+    } else if (is_pi[static_cast<std::size_t>(g.output.value)]) {
+      rep.add(Severity::Error, "net.input-driven",
+              "gate " + std::to_string(gi) + " drives primary-input net " +
+                  std::to_string(g.output.value),
+              at());
+    }
+  }
+
+  // Per-net sweep (needs the full driver census): multi-driven nets and
+  // floating-input *detection*. The first sweep already recorded which nets
+  // gates read, so the clean path never re-walks the gates; the precise
+  // (gate, pin) loci are recovered with a second gate sweep only when a
+  // floating net actually exists.
+  auto undriven = [&](NetId id) {
+    return drivers[static_cast<std::size_t>(id.value)] == 0 &&
+           !is_pi[static_cast<std::size_t>(id.value)];
+  };
+  bool any_floating = false;
+  for (int net = 0; net < nets; ++net) {
+    const auto ni = static_cast<std::size_t>(net);
+    if (drivers[ni] > 1) {
+      rep.add(Severity::Error, "net.multi-driven",
+              "net " + std::to_string(net) + " has " +
+                  std::to_string(drivers[ni]) + " drivers",
+              Locus{"net", net, -1, {}});
+    }
+    if (is_read[ni] && drivers[ni] == 0 && !is_pi[ni]) any_floating = true;
+  }
+  if (any_floating) {
+    for (int gi = 0; gi < ng; ++gi) {
+      const Gate& g = n.gates()[static_cast<std::size_t>(gi)];
+      for (std::size_t pin = 0; pin < g.inputs.size(); ++pin) {
+        const NetId in = g.inputs[pin];
+        if (net_ok(in) && undriven(in)) {
+          rep.add(Severity::Error, "net.floating-input",
+                  "gate " + std::to_string(gi) + " pin " +
+                      std::to_string(pin) + " reads floating net " +
+                      std::to_string(in.value),
+                  Locus{"gate", gi, static_cast<int>(pin), {}});
+        }
+      }
+    }
+  }
+
+  for (const Bus& b : n.outputs()) {
+    for (std::size_t bit = 0; bit < b.signal.bits.size(); ++bit) {
+      const NetId id = b.signal.bits[bit];
+      if (!net_ok(id)) {
+        rep.add(Severity::Error, "net.range",
+                "output bus '" + b.name + "' references net " +
+                    std::to_string(id.value) + " out of range",
+                Locus{"net", id.value, static_cast<int>(bit), b.name});
+        continue;
+      }
+      is_read[static_cast<std::size_t>(id.value)] = 1;
+      if (undriven(id)) {
+        rep.add(Severity::Error, "net.undriven-output",
+                "output bus '" + b.name + "' bit " + std::to_string(bit) +
+                    " (net " + std::to_string(id.value) + ") is undriven",
+                Locus{"net", id.value, static_cast<int>(bit), b.name});
+      }
+    }
+  }
+
+  bool ranges_ok = !rep.has_rule("net.range") && !rep.has_rule("net.gate.id");
+  if (ranges_ok) {
+    if (opts.warnings) {
+      for (int gi = 0; gi < ng; ++gi) {
+        const Gate& g = n.gates()[static_cast<std::size_t>(gi)];
+        if (!is_read[static_cast<std::size_t>(g.output.value)]) {
+          rep.add(Severity::Warning, "net.unread-gate",
+                  std::string(netlist::to_string(g.type)) + " gate " +
+                      std::to_string(gi) + " output (net " +
+                      std::to_string(g.output.value) + ") is never read",
+                  Locus{"gate", gi, -1, {}});
+        }
+      }
+    }
+    if (!opts.comb_loops) {
+      obs::stat_add("check.verify.netlist.runs");
+      return rep;
+    }
+    // Gate graph for the SCC sweep (successor = any gate reading my output),
+    // flattened into CSR form so verification stays allocation-light on the
+    // hot enforce path.
+    std::vector<int> driver_gate(static_cast<std::size_t>(nets), -1);
+    for (int gi = 0; gi < ng; ++gi) {
+      driver_gate[static_cast<std::size_t>(
+          n.gates()[static_cast<std::size_t>(gi)].output.value)] = gi;
+    }
+    std::vector<int> degree(static_cast<std::size_t>(ng) + 1, 0);
+    for (int gi = 0; gi < ng; ++gi) {
+      for (NetId in : n.gates()[static_cast<std::size_t>(gi)].inputs) {
+        const int d = driver_gate[static_cast<std::size_t>(in.value)];
+        if (d >= 0) ++degree[static_cast<std::size_t>(d) + 1];
+      }
+    }
+    for (int gi = 0; gi < ng; ++gi) {
+      degree[static_cast<std::size_t>(gi) + 1] +=
+          degree[static_cast<std::size_t>(gi)];
+    }
+    std::vector<int> readers(static_cast<std::size_t>(
+        degree[static_cast<std::size_t>(ng)]));
+    std::vector<int> cursor(degree.begin(), degree.end() - 1);
+    for (int gi = 0; gi < ng; ++gi) {
+      for (NetId in : n.gates()[static_cast<std::size_t>(gi)].inputs) {
+        const int d = driver_gate[static_cast<std::size_t>(in.value)];
+        if (d >= 0) {
+          readers[static_cast<std::size_t>(
+              cursor[static_cast<std::size_t>(d)]++)] = gi;
+        }
+      }
+    }
+    check_comb_loops(n, degree, readers, rep);
+  }
+
+  obs::stat_add("check.verify.netlist.runs");
+  return rep;
+}
+
+}  // namespace dpmerge::check

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dpmerge/check/check.h"
 #include "dpmerge/cluster/flatten.h"
 #include "dpmerge/obs/obs.h"
 
@@ -148,6 +149,7 @@ ClusterResult cluster_maximal(const Graph& g, const ClusterOptions& opt) {
     obs::stat_add("cluster.refined_roots", refined);
     if (refined == 0) break;
   }
+  check::enforce_analyses(g, res.info, &res.rp, "cluster.maximal");
   return res;
 }
 

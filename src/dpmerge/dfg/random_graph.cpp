@@ -23,8 +23,13 @@ Graph random_graph(Rng& rng, const RandomGraphOptions& opt) {
     if (rng.chance(opt.resize_edge_fraction)) {
       w = static_cast<int>(rng.uniform(opt.min_width, opt.max_width));
     }
-    const Sign s =
-        rng.chance(opt.signed_edge_fraction) ? Sign::Signed : Sign::Unsigned;
+    // Comparator results are 1-bit truths zero-padded to the node width; a
+    // signed resize of one would reinterpret 1 as -1, so those edges are
+    // always unsigned (rule dfg.sign.comparator).
+    const Sign s = !is_comparator(g.node(src).kind) &&
+                           rng.chance(opt.signed_edge_fraction)
+                       ? Sign::Signed
+                       : Sign::Unsigned;
     return Operand{src, w, s};
   };
 
@@ -68,8 +73,10 @@ Graph random_graph(Rng& rng, const RandomGraphOptions& opt) {
     const int ow = static_cast<int>(rng.uniform(opt.min_width, opt.max_width));
     const NodeId o =
         g.add_node(OpKind::Output, ow, "out" + std::to_string(out_idx++));
-    const Sign s =
-        rng.chance(opt.signed_edge_fraction) ? Sign::Signed : Sign::Unsigned;
+    const Sign s = !is_comparator(g.node(id).kind) &&
+                           rng.chance(opt.signed_edge_fraction)
+                       ? Sign::Signed
+                       : Sign::Unsigned;
     int ew = g.node(id).width;
     if (rng.chance(opt.resize_edge_fraction)) {
       ew = static_cast<int>(rng.uniform(opt.min_width, opt.max_width));

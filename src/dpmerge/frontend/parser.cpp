@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "dpmerge/check/check.h"
 #include "dpmerge/obs/obs.h"
 
 namespace dpmerge::frontend {
@@ -123,10 +124,8 @@ class Lexer {
         t.kind = Tok::Assign;
         return t;
       default:
-        throw std::invalid_argument("line " + std::to_string(t.line) + ":" +
-                                    std::to_string(t.col) +
-                                    ": unexpected character '" +
-                                    std::string(1, c) + "'");
+        throw ParseError(t.line, t.col, std::string(1, c),
+                         "unexpected character '" + std::string(1, c) + "'");
     }
   }
 
@@ -203,8 +202,7 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& msg) const {
-    throw std::invalid_argument("line " + std::to_string(cur_.line) + ":" +
-                                std::to_string(cur_.col) + ": " + msg);
+    throw ParseError(cur_.line, cur_.col, cur_.text, msg);
   }
 
   void shift() { cur_ = lex_.next(); }
@@ -395,9 +393,23 @@ class Parser {
 
 }  // namespace
 
+ParseError::ParseError(int line, int column, std::string token,
+                       const std::string& msg)
+    : std::invalid_argument("line " + std::to_string(line) + ":" +
+                            std::to_string(column) + ": " + msg),
+      line_(line),
+      column_(column),
+      token_(std::move(token)) {}
+
+check::Diagnostic ParseError::diagnostic() const {
+  return check::Diagnostic{check::Severity::Error, "frontend.parse", what(),
+                           check::Locus{"line", line_, column_, token_}};
+}
+
 CompileResult compile(const std::string& source) {
   obs::Span span("frontend.compile");
   CompileResult res = Parser(source).run();
+  check::enforce(res.graph, "frontend.compile");
   if (obs::StatSink* sink = obs::current_sink()) {
     sink->add("frontend.source_bytes",
               static_cast<std::int64_t>(source.size()));
@@ -405,6 +417,17 @@ CompileResult compile(const std::string& source) {
     sink->add("frontend.edges", res.graph.edge_count());
   }
   return res;
+}
+
+std::optional<CompileResult> compile_or_diagnose(const std::string& source,
+                                                 check::CheckReport& report) {
+  try {
+    return compile(source);
+  } catch (const ParseError& e) {
+    const check::Diagnostic d = e.diagnostic();
+    report.add(d.severity, d.rule, d.message, d.locus);
+    return std::nullopt;
+  }
 }
 
 }  // namespace dpmerge::frontend

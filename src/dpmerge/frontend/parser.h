@@ -1,10 +1,36 @@
 #pragma once
 
+#include <optional>
+#include <stdexcept>
 #include <string>
 
+#include "dpmerge/check/diagnostic.h"
 #include "dpmerge/dfg/graph.h"
 
 namespace dpmerge::frontend {
+
+/// Compile-time failure with a precise source location. The what() message
+/// keeps the historical "line L:C: msg" shape; the structured fields let
+/// tooling (dpmerge-lint, editors) point at the offending token directly.
+class ParseError : public std::invalid_argument {
+ public:
+  ParseError(int line, int column, std::string token, const std::string& msg);
+
+  int line() const { return line_; }
+  int column() const { return column_; }
+  /// Text of the token the parser was looking at; may be empty (e.g. at
+  /// end-of-input).
+  const std::string& token() const { return token_; }
+
+  /// The failure as a structured finding: rule "frontend.parse", locus
+  /// kind "line" with id = line, aux = column, name = token.
+  check::Diagnostic diagnostic() const;
+
+ private:
+  int line_;
+  int column_;
+  std::string token_;
+};
 
 /// A miniature RTL-expression language that compiles to DFGs — the form the
 /// paper's datapath testcases originally take. One statement per line, `#`
@@ -42,9 +68,14 @@ struct CompileResult {
   dfg::Graph graph;
 };
 
-/// Throws std::invalid_argument with a line/column message on errors
-/// (syntax, unknown or duplicate identifiers, zero widths, shift by
-/// negative amounts).
+/// Throws ParseError (an std::invalid_argument, so existing catch sites
+/// keep working) with a line/column message on errors (syntax, unknown or
+/// duplicate identifiers, zero widths, shift by negative amounts).
 CompileResult compile(const std::string& source);
+
+/// Non-throwing variant: on failure returns std::nullopt and appends the
+/// failure to `report` as a "frontend.parse" Error diagnostic.
+std::optional<CompileResult> compile_or_diagnose(const std::string& source,
+                                                 check::CheckReport& report);
 
 }  // namespace dpmerge::frontend

@@ -36,6 +36,9 @@ std::string FlowReport::to_text() const {
   std::ostringstream os;
   os << "flow " << flow;
   if (!design.empty()) os << " on " << design;
+  if (!check_policy.empty() && check_policy != "off") {
+    os << " [checks: " << check_policy << "]";
+  }
   os << ": " << total_us << " us, " << cluster_iterations
      << " cluster iteration(s), " << merge_decisions << " operators merged, "
      << csa_rows << " CSA rows, " << cpa_count << " CPAs\n";
@@ -64,6 +67,8 @@ void FlowReport::to_json(std::string& out, const StatsJsonOptions& opt) const {
   json_append_quoted(out, design);
   out += ",\"flow\":";
   json_append_quoted(out, flow);
+  out += ",\"check_policy\":";
+  json_append_quoted(out, check_policy);
   out += ",\"total_us\":" + std::to_string(t(total_us));
   out += ",\"cluster_iterations\":" + std::to_string(cluster_iterations);
   out += ",\"merge_decisions\":" + std::to_string(merge_decisions);

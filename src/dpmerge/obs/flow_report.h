@@ -49,6 +49,8 @@ struct IterationReport {
 struct FlowReport {
   std::string design;
   std::string flow;
+  /// check::CheckPolicy active while the flow ran ("off"/"errors"/"paranoid").
+  std::string check_policy = "off";
   std::int64_t total_us = 0;
 
   // Roll-ups across the whole flow (also derivable from `stages`, kept flat

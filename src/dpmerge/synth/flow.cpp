@@ -1,7 +1,9 @@
 #include "dpmerge/synth/flow.h"
 
 #include <cassert>
+#include <optional>
 
+#include "dpmerge/check/check.h"
 #include "dpmerge/synth/cluster_synth.h"
 #include "dpmerge/transform/width_prune.h"
 
@@ -172,11 +174,16 @@ FlowResult run_flow(const Graph& g, Flow flow, const SynthOptions& opt) {
   FlowResult res;
   res.graph = g;
   res.report.flow = std::string(to_string(flow));
+  const bool checking = check::policy() != check::CheckPolicy::Off;
+  res.report.check_policy = std::string(check::to_string(check::policy()));
   obs::Span span(flow == Flow::NewMerge   ? "flow.new-merge"
                  : flow == Flow::OldMerge ? "flow.old-merge"
                                           : "flow.no-merge");
   {
     obs::FlowScope fs(&res.report);
+    // RP for the post-cluster analysis lint; only NewMerge carries one out
+    // of the clusterer, the fixed partitions get by with the IC lint alone.
+    std::optional<analysis::RequiredPrecision> rp;
     InfoAnalysis ia;
     switch (flow) {
       case Flow::NoMerge:
@@ -203,12 +210,28 @@ FlowResult run_flow(const Graph& g, Flow flow, const SynthOptions& opt) {
               {it.clusters, it.merged_nodes, it.refined_roots});
         }
         ia = std::move(cr.info);
+        rp = std::move(cr.rp);
         break;
       }
+    }
+    if (checking) {
+      // Post-cluster boundary: the (possibly normalized) graph plus the
+      // analysis results the synthesizer is about to consume.
+      fs.begin_stage("check", res.graph.node_count(), res.graph.edge_count());
+      check::enforce(res.graph, "flow.cluster");
+      check::enforce_analyses(res.graph, ia, rp ? &*rp : nullptr,
+                              "flow.analyses");
+      fs.end_stage(res.graph.node_count(), res.graph.edge_count());
     }
     fs.begin_stage("synth", res.graph.node_count(), res.graph.edge_count());
     res.net = synthesize_partition(res.graph, res.partition, ia, opt);
     fs.end_stage(res.net.gate_count(), res.net.net_count());
+    if (checking) {
+      // Post-synth boundary: the emitted netlist (resumes the check stage).
+      fs.begin_stage("check", res.net.gate_count(), res.net.net_count());
+      check::enforce(res.net, "flow.synth");
+      fs.end_stage(res.net.gate_count(), res.net.net_count());
+    }
     finalize_flow_report(res.report, res.graph, res.partition, res.net,
                          fs.sink());
   }  // ~FlowScope stamps total_us

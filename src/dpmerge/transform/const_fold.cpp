@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "dpmerge/check/check.h"
 #include "dpmerge/obs/obs.h"
 
 namespace dpmerge::transform {
@@ -72,6 +73,7 @@ Graph eliminate_dead(const Graph& g) {
 
 Graph fold_constants(const Graph& g, FoldStats* stats) {
   obs::Span span("transform.const_fold");
+  check::enforce_pre(g, "transform.const_fold.pre");
   Graph ng;
   std::vector<NodeId> map(static_cast<std::size_t>(g.node_count()), NodeId{});
   // Known constant value of each *old* node's result.
@@ -272,7 +274,9 @@ Graph fold_constants(const Graph& g, FoldStats* stats) {
     sink->add("transform.fold.identities_removed", local.identities_removed);
   }
   if (stats) *stats = local;
-  return eliminate_dead(ng);
+  Graph out = eliminate_dead(ng);
+  check::enforce(out, "transform.const_fold");
+  return out;
 }
 
 }  // namespace dpmerge::transform

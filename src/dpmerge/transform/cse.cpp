@@ -4,6 +4,7 @@
 #include <tuple>
 #include <vector>
 
+#include "dpmerge/check/check.h"
 #include "dpmerge/obs/obs.h"
 
 namespace dpmerge::transform {
@@ -31,6 +32,7 @@ using NodeKey =
 
 Graph share_common_subexpressions(const Graph& g, CseStats* stats) {
   obs::Span span("transform.cse");
+  check::enforce_pre(g, "transform.cse.pre");
   Graph ng;
   std::vector<NodeId> map(static_cast<std::size_t>(g.node_count()), NodeId{});
   std::map<NodeKey, NodeId> seen;
@@ -93,6 +95,7 @@ Graph share_common_subexpressions(const Graph& g, CseStats* stats) {
 
   obs::stat_add("transform.cse.nodes_merged", local.nodes_merged);
   if (stats) *stats = local;
+  check::enforce(ng, "transform.cse");
   return ng;
 }
 

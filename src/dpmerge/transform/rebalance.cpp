@@ -7,6 +7,7 @@
 #include "dpmerge/analysis/info_content.h"
 #include "dpmerge/cluster/clusterer.h"
 #include "dpmerge/cluster/flatten.h"
+#include "dpmerge/check/check.h"
 #include "dpmerge/obs/obs.h"
 
 namespace dpmerge::transform {
@@ -60,6 +61,7 @@ struct ItemOrder {
 
 Graph rebalance_clusters(const Graph& g, RebalanceStats* stats) {
   obs::Span span("transform.rebalance");
+  check::enforce_pre(g, "transform.rebalance.pre");
   int rebuilt = 0;
   const auto cr = cluster::cluster_maximal(g);
   const auto& ia = cr.info;
@@ -202,6 +204,7 @@ Graph rebalance_clusters(const Graph& g, RebalanceStats* stats) {
   if (obs::StatSink* sink = obs::current_sink()) {
     sink->add("transform.rebalance.clusters_rebuilt", rebuilt);
   }
+  check::enforce(ng, "transform.rebalance");
   return ng;
 }
 

@@ -5,6 +5,7 @@
 
 #include "dpmerge/analysis/info_content.h"
 #include "dpmerge/analysis/required_precision.h"
+#include "dpmerge/check/check.h"
 #include "dpmerge/obs/obs.h"
 
 namespace dpmerge::transform {
@@ -187,6 +188,7 @@ PruneStats prune_info_content(Graph& g,
 PruneStats normalize_widths(Graph& g, int max_rounds,
                             const analysis::InfoRefinements* refinements) {
   obs::Span span("transform.normalize_widths");
+  check::enforce_pre(g, "transform.normalize_widths.pre");
   PruneStats total;
   int rounds = 0;
   for (int round = 0; round < max_rounds; ++round) {
@@ -204,6 +206,7 @@ PruneStats normalize_widths(Graph& g, int max_rounds,
               total.extensions_inserted);
     sink->add("transform.prune.bits_removed", total.bits_removed);
   }
+  check::enforce(g, "transform.normalize_widths");
   return total;
 }
 

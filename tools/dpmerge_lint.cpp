@@ -1,0 +1,151 @@
+// dpmerge-lint — static checker CLI over the dpmerge::check engines.
+//
+// Lints datapath sources (the frontend expression language) and serialized
+// DFGs (.dfg, see dpmerge/dfg/io.h): parse failures become structured
+// "frontend.parse" diagnostics, well-formed inputs run through the IR
+// verifier and the analysis-soundness lint, and --flow additionally runs
+// the full synthesis flows and verifies every emitted netlist.
+//
+// Usage: dpmerge-lint [options] <file>...
+//   --policy=errors|paranoid  depth of the per-file checks (default paranoid:
+//                             verifier + abstract-interpretation lint)
+//   --flow                    run no-merge/old-merge/new-merge on each input
+//                             and verify the emitted netlists
+//   --json                    machine-readable report per file
+//   -q                        suppress per-file OK lines
+//
+// Exit status: 0 all clean, 1 findings (errors or warnings), 2 usage/IO.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dpmerge/check/absint.h"
+#include "dpmerge/check/check.h"
+#include "dpmerge/dfg/io.h"
+#include "dpmerge/frontend/parser.h"
+#include "dpmerge/obs/json.h"
+#include "dpmerge/synth/flow.h"
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dpmerge;
+
+  check::CheckPolicy policy = check::CheckPolicy::Paranoid;
+  bool run_flows = false, json = false, quiet = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--policy=", 0) == 0) {
+      const auto p = check::parse_policy(arg.substr(9));
+      if (!p || *p == check::CheckPolicy::Off) {
+        std::fprintf(stderr, "dpmerge-lint: bad --policy '%s'\n",
+                     arg.c_str() + 9);
+        return 2;
+      }
+      policy = *p;
+    } else if (arg == "--flow") {
+      run_flows = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "-q") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: dpmerge-lint [--policy=errors|paranoid] [--flow] [--json] "
+          "[-q] <file>...\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "dpmerge-lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "dpmerge-lint: no input files (try --help)\n");
+    return 2;
+  }
+
+  int findings = 0;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "dpmerge-lint: cannot read '%s'\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string source = ss.str();
+
+    check::CheckReport rep;
+    dfg::Graph graph;
+    bool have_graph = false;
+    if (ends_with(path, ".dfg")) {
+      try {
+        graph = dfg::parse_graph(source);
+        have_graph = true;
+      } catch (const std::invalid_argument& e) {
+        rep.add(check::Severity::Error, "dfg.io.parse", e.what());
+      }
+    } else {
+      auto res = frontend::compile_or_diagnose(source, rep);
+      if (res) {
+        graph = std::move(res->graph);
+        have_graph = true;
+      }
+    }
+
+    if (have_graph) {
+      rep.merge(check::verify(graph));
+      if (rep.ok() && policy == check::CheckPolicy::Paranoid) {
+        const auto ia = analysis::compute_info_content(graph);
+        const auto rp = analysis::compute_required_precision(graph);
+        rep.merge(check::lint_info_content(graph, ia));
+        rep.merge(check::lint_required_precision(graph, rp));
+      }
+      if (rep.ok() && run_flows) {
+        check::PolicyScope scope(policy);
+        for (const auto flow : {synth::Flow::NoMerge, synth::Flow::OldMerge,
+                                synth::Flow::NewMerge}) {
+          try {
+            const auto res = synth::run_flow(graph, flow);
+            // Warnings off: synthesized netlists legitimately contain unread
+            // helper gates (unused carry tails, comparator internals).
+            check::NetVerifyOptions nopts;
+            nopts.warnings = false;
+            rep.merge(check::verify(res.net, nullptr, nopts));
+          } catch (const check::CheckFailure& e) {
+            rep.merge(e.report());
+          }
+        }
+      }
+    }
+
+    if (json) {
+      std::string out = "{\"file\":";
+      obs::json_append_quoted(out, path);
+      out += ",\"report\":";
+      rep.to_json(out);
+      out += "}";
+      std::printf("%s\n", out.c_str());
+    } else if (!rep.clean()) {
+      std::printf("%s:\n%s", path.c_str(), rep.to_text().c_str());
+    } else if (!quiet) {
+      std::printf("%s: OK\n", path.c_str());
+    }
+    if (!rep.clean()) ++findings;
+  }
+  return findings ? 1 : 0;
+}
