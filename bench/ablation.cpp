@@ -107,6 +107,22 @@ int main(int argc, char** argv) {
                 fmt(sta.area_scaled(net), 1);
       },
       args.threads);
+  if (!args.bench_json.empty()) {
+    std::vector<bench::BenchCell> bench_cells;
+    bench_cells.reserve(obs_session.reports.size());
+    for (const auto& report : obs_session.reports) {
+      bench::BenchCell bc;
+      bc.design = report.design;
+      bc.flow = report.flow;  // the config name, e.g. "D full new-merge flow"
+      bc.delay_ns = report.metrics.at("delay_ns");
+      bc.area = report.metrics.at("area");
+      bc.cpa_count = report.cpa_count;
+      bc.wall_ms = static_cast<double>(report.total_us) / 1000.0;
+      bench_cells.push_back(std::move(bc));
+    }
+    bench::write_bench_json_file(args.bench_json, "ablation", bench_cells,
+                                 args.deterministic);
+  }
   for (int c = 0; c < nc; ++c) {
     std::vector<std::string> cells{configs[c].name};
     for (int d = 0; d < nd; ++d) {

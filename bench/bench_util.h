@@ -28,6 +28,7 @@ namespace dpmerge::bench {
 ///   --help                  print usage and exit
 struct BenchArgs {
   std::string stats_json;
+  std::string bench_json;
   std::string trace;
   std::uint64_t seed = 1;
   bool deterministic = false;
@@ -42,9 +43,10 @@ inline BenchArgs parse_bench_args(int& argc, char** argv,
   BenchArgs a;
   auto usage = [&](std::FILE* to) {
     std::fprintf(to,
-                 "usage: %s [--stats-json <path>] [--trace <path>]\n"
-                 "          [--seed <n>] [--stats-deterministic]"
-                 " [--threads <n>] [--check=<policy>]\n",
+                 "usage: %s [--stats-json <path>] [--bench-json <path>]\n"
+                 "          [--trace <path>] [--seed <n>]"
+                 " [--stats-deterministic]\n"
+                 "          [--threads <n>] [--check=<policy>]\n",
                  argc > 0 ? argv[0] : "bench");
   };
   int out = 1;
@@ -59,6 +61,8 @@ inline BenchArgs parse_bench_args(int& argc, char** argv,
     };
     if (arg == "--stats-json") {
       a.stats_json = value();
+    } else if (arg == "--bench-json") {
+      a.bench_json = value();
     } else if (arg == "--trace") {
       a.trace = value();
     } else if (arg == "--seed") {
@@ -130,6 +134,60 @@ class ObsSession {
   std::string name_;
   BenchArgs args_;
 };
+
+/// One cell of the `--bench-json` trajectory artifact: the result metrics
+/// for one (design x flow) combination. This is the stable cross-bench
+/// schema `tools/check_bench_regression.py` compares against the checked-in
+/// baselines under bench/baselines/ — keep the field set append-only.
+struct BenchCell {
+  std::string design;
+  std::string flow;
+  double delay_ns = 0.0;
+  double area = 0.0;
+  std::int64_t cpa_count = 0;
+  double wall_ms = 0.0;  ///< zeroed with --stats-deterministic
+};
+
+/// Writes the BENCH_<name>.json trajectory artifact: one object per cell,
+/// in the order the bench stored them. `zero_wall` (the --stats-deterministic
+/// mode) zeroes wall_ms so repeated runs are byte-identical; delay/area/
+/// cpa_count are pure functions of the workload already.
+inline void write_bench_json(std::ostream& os, std::string_view bench_name,
+                             const std::vector<BenchCell>& cells,
+                             bool zero_wall) {
+  std::string out = "{\"bench\":";
+  obs::json_append_quoted(out, bench_name);
+  out += ",\"schema\":\"dpmerge-bench-v1\",\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const BenchCell& c = cells[i];
+    out += i ? ",\n" : "\n";
+    out += "{\"design\":";
+    obs::json_append_quoted(out, c.design);
+    out += ",\"flow\":";
+    obs::json_append_quoted(out, c.flow);
+    out += ",\"delay\":" + obs::json_number(c.delay_ns);
+    out += ",\"area\":" + obs::json_number(c.area);
+    out += ",\"cpa_count\":" + std::to_string(c.cpa_count);
+    out += ",\"wall_ms\":" + obs::json_number(zero_wall ? 0.0 : c.wall_ms);
+    out += "}";
+  }
+  out += "\n]}\n";
+  os << out;
+}
+
+/// Opens `path` and writes the trajectory artifact, with the usual stderr
+/// complaint on IO failure (mirrors ObsSession's --stats-json handling).
+inline void write_bench_json_file(const std::string& path,
+                                  std::string_view bench_name,
+                                  const std::vector<BenchCell>& cells,
+                                  bool zero_wall) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "failed to write bench json to '%s'\n", path.c_str());
+    return;
+  }
+  write_bench_json(os, bench_name, cells, zero_wall);
+}
 
 /// Runs `fn(cell)` for cell in [0, n) on a small std::thread pool
 /// (hardware concurrency by default; single-threaded fallback when the

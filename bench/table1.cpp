@@ -13,6 +13,7 @@
 #include "bench_util.h"
 #include "dpmerge/designs/testcases.h"
 #include "dpmerge/netlist/sta.h"
+#include "dpmerge/synth/explain.h"
 #include "dpmerge/synth/flow.h"
 
 int main(int argc, char** argv) {
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
   std::vector<Row> rows(cases.size());
   const Flow flows[] = {Flow::NoMerge, Flow::OldMerge, Flow::NewMerge};
   obs_session.reports.resize(cases.size() * 3);
+  std::vector<bench::BenchCell> bench_cells(cases.size() * 3);
   bench::parallel_for_cells(
       static_cast<int>(cases.size()) * 3,
       [&](int cell) {
@@ -44,18 +46,34 @@ int main(int argc, char** argv) {
         const int fi = cell % 3;
         auto res = synth::run_flow(cases[static_cast<std::size_t>(ci)].graph,
                                    flows[fi]);
+        const auto timing = sta.analyze(res.net);
         Row& r = rows[static_cast<std::size_t>(ci)];
-        r.delay[fi] = sta.analyze(res.net).longest_path_ns;
+        r.delay[fi] = timing.longest_path_ns;
         r.area[fi] = sta.area_scaled(res.net);
         r.clusters[fi] = res.partition.num_clusters();
         res.report.design = cases[static_cast<std::size_t>(ci)].name;
         res.report.metrics["delay_ns"] = r.delay[fi];
         res.report.metrics["area"] = r.area[fi];
         res.report.metrics["clusters"] = r.clusters[fi];
+        // Provenance roll-up: which merge decisions own the worst path.
+        const auto ledger = synth::build_ledger(
+            res, netlist::CellLibrary::tsmc025(), timing);
+        synth::attach_top_decisions(res.report, ledger);
+        bench::BenchCell& bc = bench_cells[static_cast<std::size_t>(cell)];
+        bc.design = res.report.design;
+        bc.flow = res.report.flow;
+        bc.delay_ns = r.delay[fi];
+        bc.area = r.area[fi];
+        bc.cpa_count = res.report.cpa_count;
+        bc.wall_ms = static_cast<double>(res.report.total_us) / 1000.0;
         obs_session.reports[static_cast<std::size_t>(cell)] =
             std::move(res.report);
       },
       args.threads);
+  if (!args.bench_json.empty()) {
+    bench::write_bench_json_file(args.bench_json, "table1", bench_cells,
+                                 args.deterministic);
+  }
 
   std::printf("Table 1: post-synthesis longest path delay and area\n");
   std::printf("(delay in ns; area in library units scaled by 1/100)\n\n");

@@ -102,6 +102,22 @@ int main(int argc, char** argv) {
         r.moves[fi] = res.moves;
       },
       args.threads);
+  if (!args.bench_json.empty()) {
+    std::vector<bench::BenchCell> bench_cells;
+    bench_cells.reserve(synthed.size());
+    for (const auto& fr : synthed) {
+      bench::BenchCell bc;
+      bc.design = fr.report.design;
+      bc.flow = fr.report.flow;
+      bc.delay_ns = fr.report.metrics.at("end_delay_ns");
+      bc.area = fr.report.metrics.at("end_area");
+      bc.cpa_count = fr.report.cpa_count;
+      bc.wall_ms = static_cast<double>(fr.report.total_us) / 1000.0;
+      bench_cells.push_back(std::move(bc));
+    }
+    bench::write_bench_json_file(args.bench_json, "table2", bench_cells,
+                                 args.deterministic);
+  }
   obs_session.reports.reserve(synthed.size());
   for (auto& fr : synthed) {
     obs_session.reports.push_back(std::move(fr.report));

@@ -5,6 +5,7 @@
 #include "dpmerge/check/check.h"
 #include "dpmerge/cluster/flatten.h"
 #include "dpmerge/obs/obs.h"
+#include "dpmerge/obs/provenance.h"
 
 namespace dpmerge::cluster {
 
@@ -47,11 +48,20 @@ void resize_stage(InfoContent& c, int& m, int from, int to, Sign ext) {
   c = analysis::ic_resize(c, from, to, ext);
 }
 
+/// Display name of a node for decision logs ("Add#7").
+std::string node_label(const Node& n) {
+  return std::string(dfg::to_string(n.kind)) + "#" + std::to_string(n.id.value);
+}
+
 /// Break-node analysis (Section 6 conditions, with the corrections and the
 /// per-edge exactness generalisation documented in DESIGN.md §2/§5).
+/// Every candidate merge evaluated here lands in the active DecisionLog:
+/// one per-edge decision with the analysis evidence the rule acted on, and
+/// one node-level verdict (the decision the partition is built from).
 std::vector<bool> compute_breaks(const Graph& g, const InfoAnalysis& ia,
                                  const RequiredPrecision& rp) {
   std::vector<bool> brk(static_cast<std::size_t>(g.node_count()), false);
+  obs::prov::DecisionLog* plog = obs::prov::current_log();
   for (const Node& n : g.nodes()) {
     if (!dfg::is_arith_operator(n.kind)) continue;
     bool b = n.out.empty();
@@ -60,43 +70,71 @@ std::vector<bool> compute_breaks(const Graph& g, const InfoAnalysis& ia,
       if (b) break;
       const Edge& e = g.edge(eid);
       const Node& dst = g.node(e.dst);
+      const char* edge_reason = nullptr;
+      int r_in = -1, exact = -1;
       // Safety Condition 1 (+ primary outputs end clusters).
       if (!dfg::is_arith_operator(dst.kind)) {
-        b = true;
-        reason = "safety1_non_arith";
-        continue;
+        edge_reason = "safety1_non_arith";
+      } else if (dst.kind == OpKind::Mul) {
+        // Synthesizability Condition 1.
+        edge_reason = "synth1_mul_operand";
+      } else {
+        // Safety Condition 2, exact-low-bits form: track how many low bits
+        // of the operand delivered through e still equal N's ideal
+        // contribution; the node-level clip and both edge resizes can each
+        // cap it.
+        InfoContent c = ia.out(n.id);
+        int m = ia.intr(n.id).width > n.width ? n.width : kExact;
+        resize_stage(c, m, n.width, e.width, e.sign);
+        resize_stage(c, m, e.width, dst.width, e.sign);
+        r_in = rp.r_in(e.dst);
+        exact = m >= kExact ? -1 : m;
+        if (r_in > m) edge_reason = "safety2_precision";
       }
-      // Synthesizability Condition 1.
-      if (dst.kind == OpKind::Mul) {
+      if (edge_reason) {
         b = true;
-        reason = "synth1_mul_operand";
-        continue;
+        reason = edge_reason;
       }
-      // Safety Condition 2, exact-low-bits form: track how many low bits of
-      // the operand delivered through e still equal N's ideal contribution;
-      // the node-level clip and both edge resizes can each cap it.
-      InfoContent c = ia.out(n.id);
-      int m = ia.intr(n.id).width > n.width ? n.width : kExact;
-      resize_stage(c, m, n.width, e.width, e.sign);
-      resize_stage(c, m, e.width, dst.width, e.sign);
-      if (rp.r_in(e.dst) > m) {
-        b = true;
-        reason = "safety2_precision";
+      if (plog) {
+        obs::prov::Decision d;
+        d.node = n.id.value;
+        d.dst_node = e.dst.value;
+        d.edge = eid.value;
+        d.node_op = node_label(n);
+        d.rule = std::string("cluster.") + (edge_reason ? edge_reason : "merge");
+        d.verdict = edge_reason ? obs::prov::Verdict::Reject
+                                : obs::prov::Verdict::Accept;
+        d.info_width = ia.out(n.id).width;
+        d.r_in = r_in;
+        d.exact_bits = exact;
+        d.node_width = n.width;
+        d.edge_width = e.width;
+        d.width_savings = std::max(0, n.width - ia.out(n.id).width);
+        plog->add(std::move(d));
       }
       if (obs::tracing()) {
         obs::instant("cluster.decision",
                      obs::TraceArgs()
-                         .add("src", std::string(dfg::to_string(n.kind)) +
-                                         "#" + std::to_string(n.id.value))
-                         .add("dst", std::string(dfg::to_string(dst.kind)) +
-                                         "#" + std::to_string(dst.id.value))
+                         .add("src", node_label(n))
+                         .add("dst", node_label(dst))
                          .add("r_in", rp.r_in(e.dst))
-                         .add("exact_bits", m >= kExact ? -1 : m)
+                         .add("exact_bits", exact)
                          .add("verdict", b ? "reject" : "accept")
                          .str());
       }
     }
     brk[static_cast<std::size_t>(n.id.value)] = b;
+    if (plog) {
+      obs::prov::Decision d;
+      d.node = n.id.value;
+      d.node_op = node_label(n);
+      d.rule = std::string("cluster.") + (reason ? reason : "merge");
+      d.verdict = b ? obs::prov::Verdict::Reject : obs::prov::Verdict::Accept;
+      d.info_width = ia.out(n.id).width;
+      d.node_width = n.width;
+      d.width_savings = std::max(0, n.width - ia.out(n.id).width);
+      plog->add(std::move(d));
+    }
     if (obs::StatSink* sink = obs::current_sink()) {
       sink->add(b ? "cluster.decisions.reject" : "cluster.decisions.accept");
       if (reason) sink->add(std::string("cluster.reject.") + reason);
@@ -121,6 +159,9 @@ ClusterResult cluster_maximal(const Graph& g, const ClusterOptions& opt) {
   const int rounds = opt.iterate_rebalancing ? opt.max_iterations : 1;
   for (int iter = 0; iter < rounds; ++iter) {
     obs::Span iter_span("cluster.iteration");
+    if (obs::prov::DecisionLog* plog = obs::prov::current_log()) {
+      plog->next_iteration();
+    }
     res.iterations = iter + 1;
     res.info = analysis::compute_info_content(g, res.refinements);
     res.rp = analysis::compute_required_precision(g);
@@ -207,6 +248,8 @@ std::vector<int> natural_widths(const Graph& g) {
 
 Partition cluster_leakage(const Graph& g) {
   obs::Span span("cluster.leakage");
+  obs::prov::DecisionLog* plog = obs::prov::current_log();
+  if (plog) plog->next_iteration();
   const auto nat = natural_widths(g);
   const auto rp = analysis::compute_required_precision(g);
   // The width-only criterion cannot see signedness reinterpretation
@@ -220,6 +263,7 @@ Partition cluster_leakage(const Graph& g) {
     bool b = n.out.empty();
     int max_r = 0;
     const int nat_n = nat[static_cast<std::size_t>(n.id.value)];
+    const char* leak_reason = nullptr;
     for (EdgeId eid : n.out) {
       if (b) break;
       const Edge& e = g.edge(eid);
@@ -230,7 +274,25 @@ Partition cluster_leakage(const Graph& g) {
       max_r = std::max(max_r, r_d);
       // Leakage on the edge: the edge drops bits the node really produced
       // and a consumer widens the truncated value again.
-      if (std::min(std::min(nat_n, n.width), r_d) > e.width) b = true;
+      if (std::min(std::min(nat_n, n.width), r_d) > e.width) {
+        b = true;
+        leak_reason = "leakage_edge";
+        if (plog) {
+          obs::prov::Decision d;
+          d.node = n.id.value;
+          d.dst_node = e.dst.value;
+          d.edge = eid.value;
+          d.node_op = node_label(n);
+          d.rule = "cluster.leakage_edge";
+          d.verdict = obs::prov::Verdict::Reject;
+          d.natural_width = nat_n;
+          d.r_in = r_d;
+          d.node_width = n.width;
+          d.edge_width = e.width;
+          d.width_savings = std::max(0, nat_n - n.width);
+          plog->add(std::move(d));
+        }
+      }
       if (obs::tracing()) {
         // The width-only score the old algorithm acts on, next to the RP
         // the new analysis would have used — the per-edge gap between the
@@ -250,17 +312,48 @@ Partition cluster_leakage(const Graph& g) {
     }
     // Leakage at the node: the operator's natural width exceeds its declared
     // width (bits leak) and some consumer requires more than it produces.
-    if (!b && std::min(nat_n, max_r) > n.width) b = true;
+    if (!b && std::min(nat_n, max_r) > n.width) {
+      b = true;
+      leak_reason = "leakage_node";
+    }
     // OR into the functionally-required break set seeded above.
     if (b && !brk[static_cast<std::size_t>(n.id.value)]) {
       brk[static_cast<std::size_t>(n.id.value)] = true;
       obs::stat_add("cluster.reject.leakage");
+      // Leakage flipped this node's verdict: supersede the seed's
+      // node-level accept with the width-only reject that really decided.
+      if (plog) {
+        obs::prov::Decision d;
+        d.node = n.id.value;
+        d.node_op = node_label(n);
+        d.rule = std::string("cluster.") +
+                 (leak_reason ? leak_reason : "leakage_node");
+        d.verdict = obs::prov::Verdict::Reject;
+        d.natural_width = nat_n;
+        d.r_in = max_r;
+        d.node_width = n.width;
+        d.width_savings = std::max(0, nat_n - n.width);
+        plog->add(std::move(d));
+      }
     }
   }
   return partition_from_breaks(g, brk);
 }
 
 Partition cluster_none(const Graph& g) {
+  if (obs::prov::DecisionLog* plog = obs::prov::current_log()) {
+    plog->next_iteration();
+    for (const Node& n : g.nodes()) {
+      if (!dfg::is_arith_operator(n.kind)) continue;
+      obs::prov::Decision d;
+      d.node = n.id.value;
+      d.node_op = node_label(n);
+      d.rule = "cluster.no_merge_flow";
+      d.verdict = obs::prov::Verdict::Reject;
+      d.node_width = n.width;
+      plog->add(std::move(d));
+    }
+  }
   std::vector<bool> brk(static_cast<std::size_t>(g.node_count()), true);
   return partition_from_breaks(g, brk);
 }

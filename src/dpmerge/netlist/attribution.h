@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "dpmerge/netlist/sta.h"
+
+namespace dpmerge::netlist {
+
+/// One segment of the STA worst path: the net, the gate driving it (invalid
+/// for a primary-input segment), the provenance owner of that gate, the
+/// net's arrival time and the incremental delay this segment adds over its
+/// critical predecessor. Incremental delays telescope: they sum back to the
+/// worst-path arrival up to floating-point rounding.
+struct PathSegment {
+  NetId net;
+  GateId gate;       ///< driver, or invalid (primary input / constant)
+  int owner = -1;    ///< provenance owner DFG node, or -1
+  double arrival_ns = 0.0;
+  double incr_ns = 0.0;
+};
+
+/// The worst path of a TimingReport re-expressed as per-owner delay bills.
+struct PathAttribution {
+  double total_ns = 0.0;  ///< the report's longest_path_ns
+  std::vector<PathSegment> segments;  ///< input -> output order
+  /// Delay billed per provenance owner (-1 collects untagged segments).
+  std::map<int, double> delay_by_owner;
+  std::map<int, std::int64_t> path_gates_by_owner;
+};
+
+/// Bills every worst-path segment's incremental delay to the provenance
+/// owner of the gate that drives it. Works on untagged netlists too (all
+/// delay lands in the -1 bucket). The sum of `delay_by_owner` equals
+/// `total_ns` within rounding.
+PathAttribution attribute_critical_path(const Netlist& n,
+                                        const TimingReport& rep);
+
+/// Per-owner cell census: gates and area owned by each provenance owner.
+struct OwnerCensus {
+  std::int64_t gates = 0;
+  double area = 0.0;
+};
+
+std::map<int, OwnerCensus> census_by_owner(const Netlist& n,
+                                           const CellLibrary& lib);
+
+}  // namespace dpmerge::netlist

@@ -32,6 +32,9 @@ GateId Netlist::add_gate_driving(CellType t, std::vector<NetId> inputs,
          "net already driven");
   driver_of_[static_cast<std::size_t>(out.value)] = g.id.value;
   gates_.push_back(std::move(g));
+#ifndef DPMERGE_OBS_DISABLED
+  gate_owner_.push_back(current_owner_);
+#endif
   return gates_.back().id;
 }
 

@@ -96,6 +96,43 @@ class Netlist {
   int gate_count() const { return static_cast<int>(gates_.size()); }
   int net_count() const { return net_count_; }
 
+  // ---- provenance tags (dpmerge::obs) ----
+  // Side metadata only: the DFG node whose synthesis created each gate.
+  // Never influences structure, simulation, timing or export, and compiles
+  // out entirely with -DDPMERGE_OBS=OFF (owner() is then always -1), so
+  // netlists are byte-identical with or without provenance.
+
+  /// Sets the owner DFG node id stamped on subsequently created gates
+  /// (-1 = untagged). The synthesizer scopes this around each node's turn.
+  void set_provenance_owner(int dfg_node) {
+#ifndef DPMERGE_OBS_DISABLED
+    current_owner_ = dfg_node;
+#else
+    (void)dfg_node;
+#endif
+  }
+
+  /// Owner DFG node of a gate, or -1 (untagged / compiled out).
+  int provenance_owner(GateId g) const {
+#ifndef DPMERGE_OBS_DISABLED
+    const auto i = static_cast<std::size_t>(g.value);
+    return i < gate_owner_.size() ? gate_owner_[i] : -1;
+#else
+    (void)g;
+    return -1;
+#endif
+  }
+
+  /// True when at least one gate carries an owner tag.
+  bool has_provenance() const {
+#ifndef DPMERGE_OBS_DISABLED
+    for (int o : gate_owner_) {
+      if (o >= 0) return true;
+    }
+#endif
+    return false;
+  }
+
   /// Driver gate of a net, or nullptr for primary inputs / constants.
   const Gate* driver(NetId n) const;
 
@@ -113,6 +150,10 @@ class Netlist {
   std::vector<int> driver_of_;  // net -> gate index, -1 if none
   std::vector<Bus> inputs_;
   std::vector<Bus> outputs_;
+#ifndef DPMERGE_OBS_DISABLED
+  std::vector<int> gate_owner_;  // parallel to gates_; -1 = untagged
+  int current_owner_ = -1;
+#endif
 };
 
 }  // namespace dpmerge::netlist

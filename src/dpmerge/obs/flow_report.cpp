@@ -1,5 +1,6 @@
 #include "dpmerge/obs/flow_report.h"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 
@@ -21,6 +22,36 @@ void append_i64_map(std::string& out,
     out += ":" + std::to_string(v);
   }
   out += "}";
+}
+
+// Canonical pipeline position of a stage for JSON export. The in-memory
+// `stages` vector keeps execution order (first-begin order), but that order
+// depends on the check policy: with checks on, "check" begins between
+// "cluster" and "synth"; with paranoid checks it first begins even earlier.
+// Exported artifacts must not differ by check policy in *ordering*, so the
+// emitters sort by pipeline rank (unknown stages go last, alphabetically).
+int stage_rank(std::string_view name) {
+  if (name == "normalize") return 0;
+  if (name == "cluster") return 1;
+  if (name == "check") return 2;
+  if (name == "synth") return 3;
+  if (name == "opt") return 4;
+  return 100;
+}
+
+std::vector<const StageReport*> stages_in_export_order(
+    const std::vector<StageReport>& stages) {
+  std::vector<const StageReport*> out;
+  out.reserve(stages.size());
+  for (const StageReport& s : stages) out.push_back(&s);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const StageReport* a, const StageReport* b) {
+                     const int ra = stage_rank(a->name);
+                     const int rb = stage_rank(b->name);
+                     if (ra != rb) return ra < rb;
+                     return a->name < b->name;
+                   });
+  return out;
 }
 
 }  // namespace
@@ -58,6 +89,10 @@ std::string FlowReport::to_text() const {
   for (const auto& [k, v] : metrics) {
     os << "  " << k << " = " << json_number(v) << "\n";
   }
+  for (const DecisionSummary& d : top_decisions) {
+    os << "  decision " << d.label << ": " << json_number(d.delay_ns)
+       << " ns (" << json_number(d.share * 100.0) << "% of worst path)\n";
+  }
   return os.str();
 }
 
@@ -76,11 +111,13 @@ void FlowReport::to_json(std::string& out, const StatsJsonOptions& opt) const {
   out += ",\"cpa_count\":" + std::to_string(cpa_count);
   out += ",\"cells_by_type\":";
   append_i64_map(out, cells_by_type);
+  const std::vector<const StageReport*> ordered =
+      stages_in_export_order(stages);
   out += ",\"stage_times_us\":{";
-  for (std::size_t i = 0; i < stages.size(); ++i) {
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
     if (i) out += ",";
-    json_append_quoted(out, stages[i].name);
-    out += ":" + std::to_string(t(stages[i].elapsed_us));
+    json_append_quoted(out, ordered[i]->name);
+    out += ":" + std::to_string(t(ordered[i]->elapsed_us));
   }
   out += "},\"iterations\":[";
   for (std::size_t i = 0; i < iterations.size(); ++i) {
@@ -98,9 +135,19 @@ void FlowReport::to_json(std::string& out, const StatsJsonOptions& opt) const {
     json_append_quoted(out, k);
     out += ":" + json_number(v);
   }
-  out += "},\"stages\":[";
-  for (std::size_t i = 0; i < stages.size(); ++i) {
-    const StageReport& s = stages[i];
+  out += "},\"top_decisions\":[";
+  for (std::size_t i = 0; i < top_decisions.size(); ++i) {
+    const DecisionSummary& d = top_decisions[i];
+    if (i) out += ",";
+    out += "{\"label\":";
+    json_append_quoted(out, d.label);
+    out += ",\"delay_ns\":" + json_number(d.delay_ns);
+    out += ",\"share\":" + json_number(d.share);
+    out += "}";
+  }
+  out += "],\"stages\":[";
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const StageReport& s = *ordered[i];
     if (i) out += ",";
     out += "{\"name\":";
     json_append_quoted(out, s.name);

@@ -43,6 +43,15 @@ struct IterationReport {
   std::int64_t refined_roots = 0;
 };
 
+/// One line of the provenance ledger roll-up: a merge decision (or operator)
+/// and the share of the STA worst path billed to it. Attached by
+/// `synth::attach_top_decisions` after critical-path attribution runs.
+struct DecisionSummary {
+  std::string label;     ///< e.g. "Mul#4 [cluster.synth1_mul_operand]"
+  double delay_ns = 0.0; ///< worst-path delay billed to this decision
+  double share = 0.0;    ///< delay_ns / worst-path delay, in [0, 1]
+};
+
 /// Per-stage breakdown of one synthesis flow run, emitted by
 /// `synth::run_flow` (hung off `FlowResult::report`) and serialised by the
 /// bench harnesses into `--stats-json` artifacts.
@@ -64,6 +73,9 @@ struct FlowReport {
   std::vector<StageReport> stages;
   /// Bench-attached result metrics (delay_ns, area, ...), deterministic.
   std::map<std::string, double> metrics;
+  /// Largest worst-path delay contributors by merge decision, attached by
+  /// the explain/bench harnesses (empty when attribution never ran).
+  std::vector<DecisionSummary> top_decisions;
 
   std::int64_t stage_time_us(std::string_view stage) const;
 

@@ -9,6 +9,9 @@
 ///     process-global Registry (counters / gauges / histograms).
 ///   - flow_report.h: FlowReport/FlowScope — the per-stage breakdown
 ///     synth::run_flow emits and the benches serialise via --stats-json.
+///   - provenance.h: DecisionLog/DecisionScope and the per-decision
+///     delay/area Ledger — merge-decision provenance and critical-path
+///     attribution (DESIGN.md, "Provenance & attribution").
 ///
 /// Everything is near-zero-cost when idle (one relaxed atomic load per
 /// span, one TLS load per stat hook) and compiles out entirely with the
@@ -16,5 +19,6 @@
 
 #include "dpmerge/obs/flow_report.h"
 #include "dpmerge/obs/json.h"
+#include "dpmerge/obs/provenance.h"
 #include "dpmerge/obs/stats.h"
 #include "dpmerge/obs/trace.h"

@@ -1,0 +1,203 @@
+#include "dpmerge/obs/provenance.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dpmerge/obs/json.h"
+
+namespace dpmerge::obs::prov {
+
+std::string_view to_string(Verdict v) {
+  return v == Verdict::Accept ? "accept" : "reject";
+}
+
+std::string Decision::to_text() const {
+  std::ostringstream os;
+  os << node_op << " it" << iteration << " " << rule << ": "
+     << to_string(verdict);
+  std::string evidence;
+  auto ev = [&](const char* name, int v) {
+    if (v < 0) return;
+    if (!evidence.empty()) evidence += ", ";
+    evidence += name;
+    evidence += "=";
+    evidence += std::to_string(v);
+  };
+  ev("r_in", r_in);
+  ev("exact", exact_bits);
+  ev("info_w", info_width);
+  ev("natural_w", natural_width);
+  ev("w", node_width);
+  ev("w_e", edge_width);
+  if (width_savings > 0) ev("saved_bits", width_savings);
+  if (!evidence.empty()) os << " (" << evidence << ")";
+  return os.str();
+}
+
+void Decision::to_json(std::string& out) const {
+  out += "{\"id\":" + std::to_string(id.value);
+  out += ",\"iteration\":" + std::to_string(iteration);
+  out += ",\"node\":" + std::to_string(node);
+  out += ",\"dst_node\":" + std::to_string(dst_node);
+  out += ",\"edge\":" + std::to_string(edge);
+  out += ",\"op\":";
+  json_append_quoted(out, node_op);
+  out += ",\"rule\":";
+  json_append_quoted(out, rule);
+  out += ",\"verdict\":";
+  json_append_quoted(out, to_string(verdict));
+  out += ",\"info_width\":" + std::to_string(info_width);
+  out += ",\"r_in\":" + std::to_string(r_in);
+  out += ",\"exact_bits\":" + std::to_string(exact_bits);
+  out += ",\"natural_width\":" + std::to_string(natural_width);
+  out += ",\"node_width\":" + std::to_string(node_width);
+  out += ",\"edge_width\":" + std::to_string(edge_width);
+  out += ",\"width_savings\":" + std::to_string(width_savings);
+  out += "}";
+}
+
+DecisionId DecisionLog::add(Decision d) {
+  d.id = DecisionId{static_cast<int>(decisions_.size())};
+  d.iteration = iteration_;
+  if (d.dst_node < 0 && d.node >= 0) {
+    final_by_node_[d.node] = d.id.value;
+  }
+  decisions_.push_back(std::move(d));
+  return decisions_.back().id;
+}
+
+void DecisionLog::clear() {
+  decisions_.clear();
+  final_by_node_.clear();
+  iteration_ = 0;
+}
+
+DecisionId DecisionLog::final_for_node(int node) const {
+  auto it = final_by_node_.find(node);
+  return it == final_by_node_.end() ? DecisionId{} : DecisionId{it->second};
+}
+
+std::vector<DecisionId> DecisionLog::final_decisions() const {
+  std::vector<DecisionId> out;
+  out.reserve(final_by_node_.size());
+  for (const auto& [node, idx] : final_by_node_) out.push_back(DecisionId{idx});
+  return out;
+}
+
+std::vector<DecisionId> DecisionLog::rejects_for_node(int node) const {
+  // The node's final iteration is the iteration of its final decision.
+  const DecisionId fin = final_for_node(node);
+  if (!fin.valid()) return {};
+  const int it = decision(fin).iteration;
+  std::vector<DecisionId> out;
+  for (const Decision& d : decisions_) {
+    if (d.node == node && d.iteration == it && d.verdict == Verdict::Reject) {
+      out.push_back(d.id);
+    }
+  }
+  return out;
+}
+
+void DecisionLog::to_json(std::string& out) const {
+  out += "{\"iterations\":" + std::to_string(iteration_);
+  out += ",\"decisions\":[";
+  for (std::size_t i = 0; i < decisions_.size(); ++i) {
+    if (i) out += ",";
+    decisions_[i].to_json(out);
+  }
+  out += "]}";
+}
+
+void Ledger::to_json(std::string& out) const {
+  out += "{\"design\":";
+  json_append_quoted(out, design);
+  out += ",\"flow\":";
+  json_append_quoted(out, flow);
+  out += ",\"total_delay_ns\":" + json_number(total_delay_ns);
+  out += ",\"attributed_ns\":" + json_number(attributed_ns);
+  out += ",\"total_area\":" + json_number(total_area);
+  out += ",\"entries\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const LedgerEntry& e = entries[i];
+    if (i) out += ",";
+    out += "{\"decision\":" + std::to_string(e.decision.value);
+    out += ",\"node\":" + std::to_string(e.node);
+    out += ",\"label\":";
+    json_append_quoted(out, e.label);
+    out += ",\"rule\":";
+    json_append_quoted(out, e.rule);
+    out += ",\"verdict\":";
+    json_append_quoted(out, e.verdict);
+    out += ",\"delay_ns\":" + json_number(e.delay_ns);
+    out += ",\"area\":" + json_number(e.area);
+    out += ",\"gates\":" + std::to_string(e.gates);
+    out += ",\"path_gates\":" + std::to_string(e.path_gates);
+    out += "}";
+  }
+  out += "]}";
+}
+
+std::string Ledger::to_text() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "ledger " << flow;
+  if (!design.empty()) os << " on " << design;
+  os << ": worst path " << total_delay_ns << " ns (attributed "
+     << attributed_ns << " ns), area " << total_area << "\n";
+  for (const LedgerEntry& e : entries) {
+    os << "  " << e.label;
+    if (!e.rule.empty()) os << " [" << e.rule << " -> " << e.verdict << "]";
+    os << ": " << e.delay_ns << " ns over " << e.path_gates
+       << " path gate(s), area " << e.area << " (" << e.gates << " gates)\n";
+  }
+  return os.str();
+}
+
+void LedgerDiff::to_json(std::string& out) const {
+  out += "{\"flow_a\":";
+  json_append_quoted(out, flow_a);
+  out += ",\"flow_b\":";
+  json_append_quoted(out, flow_b);
+  out += ",\"delay_a_ns\":" + json_number(delay_a_ns);
+  out += ",\"delay_b_ns\":" + json_number(delay_b_ns);
+  out += ",\"entries\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const DiffEntry& e = entries[i];
+    if (i) out += ",";
+    out += "{\"node\":" + std::to_string(e.node);
+    out += ",\"label\":";
+    json_append_quoted(out, e.label);
+    out += ",\"rule_a\":";
+    json_append_quoted(out, e.rule_a);
+    out += ",\"rule_b\":";
+    json_append_quoted(out, e.rule_b);
+    out += ",\"verdict_a\":";
+    json_append_quoted(out, e.verdict_a);
+    out += ",\"verdict_b\":";
+    json_append_quoted(out, e.verdict_b);
+    out += ",\"delay_a_ns\":" + json_number(e.delay_a_ns);
+    out += ",\"delay_b_ns\":" + json_number(e.delay_b_ns);
+    out += "}";
+  }
+  out += "]}";
+}
+
+std::string LedgerDiff::to_text() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "diff " << flow_a << " (" << delay_a_ns << " ns) vs " << flow_b
+     << " (" << delay_b_ns << " ns): " << entries.size()
+     << " diverging decision(s)\n";
+  for (const DiffEntry& e : entries) {
+    os << "  " << e.label << ": " << flow_a << " " << e.verdict_a;
+    if (!e.rule_a.empty()) os << " [" << e.rule_a << "]";
+    os << " @" << e.delay_a_ns << " ns vs " << flow_b << " " << e.verdict_b;
+    if (!e.rule_b.empty()) os << " [" << e.rule_b << "]";
+    os << " @" << e.delay_b_ns << " ns\n";
+  }
+  return os.str();
+}
+
+}  // namespace dpmerge::obs::prov

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+
+#include "dpmerge/netlist/attribution.h"
+#include "dpmerge/obs/provenance.h"
+#include "dpmerge/synth/flow.h"
+
+namespace dpmerge::synth {
+
+/// Everything `dpmerge-explain` knows about one flow run on one design:
+/// the synthesis result (with its DecisionLog and owner-tagged netlist),
+/// the STA report, the worst path re-expressed as per-owner delay bills,
+/// and the per-decision delay/area ledger derived from all of it.
+struct Explanation {
+  FlowResult result;
+  netlist::TimingReport timing;
+  netlist::PathAttribution attribution;
+  obs::prov::Ledger ledger;
+};
+
+/// Runs `flow` on `g`, analyses timing with `lib`, and builds the ledger:
+/// the one-call provenance pipeline (DFG -> decisions -> cluster -> gates
+/// -> worst path -> per-decision delay/area).
+Explanation explain_flow(const dfg::Graph& g, Flow flow,
+                         const netlist::CellLibrary& lib,
+                         const SynthOptions& opt = {});
+
+/// Builds the per-decision ledger for an already-run flow (shared by
+/// explain_flow and the bench harnesses, which run STA themselves anyway).
+/// Entry delays sum to `timing.longest_path_ns` within rounding.
+obs::prov::Ledger build_ledger(const FlowResult& fr,
+                               const netlist::CellLibrary& lib,
+                               const netlist::TimingReport& timing);
+
+/// Copies the `n` largest ledger entries by delay contribution into
+/// `rep.top_decisions` (the FlowReport roll-up serialised by --stats-json).
+void attach_top_decisions(obs::FlowReport& rep, const obs::prov::Ledger& ledger,
+                          int n = 3);
+
+/// Flow-vs-flow decision diff: every DFG node on which the two flows'
+/// final verdicts (or firing rules) differ, with the worst-path delay each
+/// flow bills to it. Sorted by the larger of the two bills, descending.
+obs::prov::LedgerDiff diff_explanations(const Explanation& a,
+                                        const Explanation& b);
+
+/// Graphviz DOT of the synthesised DFG: nodes coloured by cluster, cluster
+/// roots labelled with their deciding rule, and the owners of worst-path
+/// delay outlined in red with their billed nanoseconds.
+std::string provenance_dot(const Explanation& e);
+
+}  // namespace dpmerge::synth

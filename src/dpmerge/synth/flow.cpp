@@ -38,6 +38,10 @@ Netlist synthesize_partition(const Graph& g, const Partition& p,
 
   for (NodeId id : g.topo_order()) {
     const Node& n = g.node(id);
+    // Provenance: every gate created while synthesising this node's turn is
+    // owned by it (cluster roots own their whole CSA tree + CPA). Side
+    // metadata only — never changes the emitted structure.
+    net.set_provenance_owner(id.value);
     auto& s = sig[static_cast<std::size_t>(id.value)];
     switch (n.kind) {
       case OpKind::Input: {
@@ -107,6 +111,7 @@ Netlist synthesize_partition(const Graph& g, const Partition& p,
       }
     }
   }
+  net.set_provenance_owner(-1);
   return net;
 }
 
@@ -181,6 +186,9 @@ FlowResult run_flow(const Graph& g, Flow flow, const SynthOptions& opt) {
                                           : "flow.no-merge");
   {
     obs::FlowScope fs(&res.report);
+    // Decision provenance: every candidate merge the clusterer evaluates
+    // for this flow lands in the result's log (compiled out with obs).
+    obs::prov::DecisionScope decisions(&res.decisions);
     // RP for the post-cluster analysis lint; only NewMerge carries one out
     // of the clusterer, the fixed partitions get by with the IC lint alone.
     std::optional<analysis::RequiredPrecision> rp;

@@ -6,6 +6,7 @@
 #include "dpmerge/dfg/graph.h"
 #include "dpmerge/netlist/netlist.h"
 #include "dpmerge/obs/flow_report.h"
+#include "dpmerge/obs/provenance.h"
 #include "dpmerge/synth/cpa.h"
 
 namespace dpmerge::synth {
@@ -35,6 +36,11 @@ struct FlowResult {
   /// structure, cell histogram). Always populated; near-free to fill when
   /// the obs subsystem is compiled out (times/stats are then zero/empty).
   obs::FlowReport report;
+  /// Every merge decision the clusterer took (per-edge evidence + final
+  /// node verdicts), recorded while the flow ran. Together with the
+  /// netlist's gate owner tags this is the provenance chain the ledger and
+  /// `dpmerge-explain` are built from. Empty when obs is compiled out.
+  obs::prov::DecisionLog decisions;
 };
 
 /// Runs a complete flow: (transform) -> cluster -> netlist. The netlist's

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Compare BENCH_<name>.json trajectory artifacts against checked-in baselines.
+
+Usage: check_bench_regression.py [--threshold PCT] CURRENT BASELINE [CURRENT BASELINE ...]
+
+Each pair is compared cell-by-cell on the (design, flow) key. A cell fails
+when its delay or area exceeds the baseline by more than the threshold
+(default 10%). wall_ms is informational only and never compared. Cells
+present in the baseline but missing from the current run fail too (a bench
+that silently drops a design must not pass); *new* cells in the current run
+are allowed (the baseline is refreshed when designs are added).
+
+Exit status: 0 all within threshold, 1 regressions found, 2 usage/IO.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cells(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot load '{path}': {e}", file=sys.stderr)
+        sys.exit(2)
+    cells = {}
+    for cell in doc.get("cells", []):
+        key = (cell.get("design"), cell.get("flow"))
+        if key in cells:
+            print(f"error: '{path}' has duplicate cell {key}", file=sys.stderr)
+            sys.exit(2)
+        cells[key] = cell
+    return doc.get("bench", "?"), cells
+
+
+def compare(current_path, baseline_path, threshold):
+    bench, current = load_cells(current_path)
+    _, baseline = load_cells(baseline_path)
+    failures = []
+    for key, base in sorted(baseline.items()):
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{bench} {key}: missing from current run")
+            continue
+        for metric in ("delay", "area"):
+            b, c = base.get(metric, 0.0), cur.get(metric, 0.0)
+            limit = b * (1.0 + threshold / 100.0)
+            if b > 0 and c > limit:
+                failures.append(
+                    f"{bench} design={key[0]} flow={key[1]}: {metric} "
+                    f"{c:.4f} exceeds baseline {b:.4f} by "
+                    f"{100.0 * (c - b) / b:.1f}% (> {threshold:.0f}%)"
+                )
+    extra = sorted(set(current) - set(baseline))
+    return bench, failures, extra, len(baseline)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="allowed regression in percent (default 10)")
+    ap.add_argument("files", nargs="+", metavar="CURRENT BASELINE",
+                    help="alternating current/baseline json paths")
+    args = ap.parse_args()
+    if len(args.files) % 2 != 0:
+        ap.error("expected CURRENT BASELINE pairs")
+
+    any_failures = False
+    for i in range(0, len(args.files), 2):
+        bench, failures, extra, n = compare(args.files[i], args.files[i + 1],
+                                            args.threshold)
+        for f in failures:
+            print(f"FAIL: {f}")
+        if failures:
+            any_failures = True
+        else:
+            print(f"OK: {bench}: {n} cell(s) within {args.threshold:.0f}% "
+                  f"of baseline")
+        for key in extra:
+            print(f"note: {bench} {key}: new cell, not in baseline "
+                  f"(refresh bench/baselines/ to track it)")
+    return 1 if any_failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,10 @@
 //                             verifier + abstract-interpretation lint)
 //   --flow                    run no-merge/old-merge/new-merge on each input
 //                             and verify the emitted netlists
+//   --explain-rejects         when the new-merge flow merges zero operators,
+//                             print the DecisionLog reject reasons (which
+//                             break rule fired at each operator, with the
+//                             info-content/required-precision evidence)
 //   --json                    machine-readable report per file
 //   -q                        suppress per-file OK lines
 //
@@ -43,7 +47,7 @@ int main(int argc, char** argv) {
   using namespace dpmerge;
 
   check::CheckPolicy policy = check::CheckPolicy::Paranoid;
-  bool run_flows = false, json = false, quiet = false;
+  bool run_flows = false, explain_rejects = false, json = false, quiet = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -57,14 +61,16 @@ int main(int argc, char** argv) {
       policy = *p;
     } else if (arg == "--flow") {
       run_flows = true;
+    } else if (arg == "--explain-rejects") {
+      explain_rejects = true;
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "-q") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: dpmerge-lint [--policy=errors|paranoid] [--flow] [--json] "
-          "[-q] <file>...\n");
+          "usage: dpmerge-lint [--policy=errors|paranoid] [--flow] "
+          "[--explain-rejects] [--json] [-q] <file>...\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "dpmerge-lint: unknown option '%s'\n", arg.c_str());
@@ -114,6 +120,34 @@ int main(int argc, char** argv) {
         const auto rp = analysis::compute_required_precision(graph);
         rep.merge(check::lint_info_content(graph, ia));
         rep.merge(check::lint_required_precision(graph, rp));
+      }
+      if (rep.ok() && explain_rejects) {
+        try {
+          const auto res = synth::run_flow(graph, synth::Flow::NewMerge);
+          if (res.report.merge_decisions == 0) {
+            if (!dpmerge::obs::compiled_in()) {
+              std::printf(
+                  "%s: new-merge merged nothing (provenance compiled out; "
+                  "rebuild with DPMERGE_OBS=ON for reject reasons)\n",
+                  path.c_str());
+            } else {
+              std::printf("%s: new-merge merged nothing; reject reasons:\n",
+                          path.c_str());
+              for (const auto id : res.decisions.final_decisions()) {
+                const auto& d = res.decisions.decision(id);
+                if (d.verdict != obs::prov::Verdict::Reject) continue;
+                std::printf("  %s\n", d.to_text().c_str());
+                for (const auto rid : res.decisions.rejects_for_node(d.node)) {
+                  if (rid == id) continue;
+                  std::printf("    %s\n",
+                              res.decisions.decision(rid).to_text().c_str());
+                }
+              }
+            }
+          }
+        } catch (const check::CheckFailure& e) {
+          rep.merge(e.report());
+        }
       }
       if (rep.ok() && run_flows) {
         check::PolicyScope scope(policy);
