@@ -13,6 +13,7 @@
 
 #include "dpmerge/check/check.h"
 #include "dpmerge/obs/obs.h"
+#include "dpmerge/support/thread_pool.h"
 
 namespace dpmerge::bench {
 
@@ -146,7 +147,23 @@ struct BenchCell {
   double area = 0.0;
   std::int64_t cpa_count = 0;
   double wall_ms = 0.0;  ///< zeroed with --stats-deterministic
+  double rss_mb = 0.0;   ///< peak RSS after the cell; zeroed likewise
 };
+
+/// Peak resident-set size of this process in MiB (VmHWM from
+/// /proc/self/status), or 0.0 where procfs is unavailable. A high-water
+/// mark: it only grows, so per-cell readings in a multi-design harness
+/// reflect the largest design processed so far.
+inline double peak_rss_mb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+    }
+  }
+  return 0.0;
+}
 
 /// Writes the BENCH_<name>.json trajectory artifact: one object per cell,
 /// in the order the bench stored them. `zero_wall` (the --stats-deterministic
@@ -169,6 +186,7 @@ inline void write_bench_json(std::ostream& os, std::string_view bench_name,
     out += ",\"area\":" + obs::json_number(c.area);
     out += ",\"cpa_count\":" + std::to_string(c.cpa_count);
     out += ",\"wall_ms\":" + obs::json_number(zero_wall ? 0.0 : c.wall_ms);
+    out += ",\"rss_mb\":" + obs::json_number(zero_wall ? 0.0 : c.rss_mb);
     out += "}";
   }
   out += "\n]}\n";
@@ -189,37 +207,18 @@ inline void write_bench_json_file(const std::string& path,
   write_bench_json(os, bench_name, cells, zero_wall);
 }
 
-/// Runs `fn(cell)` for cell in [0, n) on a small std::thread pool
-/// (hardware concurrency by default; single-threaded fallback when the
-/// machine reports one core). The table harnesses use this to spread their
+/// Runs `fn(cell)` for cell in [0, n) on the process-wide
+/// `support::ThreadPool` (hardware concurrency by default; `threads` caps
+/// the width, 0 = auto). The table harnesses use this to spread their
 /// independent (design x flow) cells.
 ///
 /// Determinism rule: cells must be pure functions of their index that write
 /// into pre-sized result slots, and any randomness a cell needs must come
 /// from an Rng seeded per cell (never shared across cells), so the thread
-/// schedule cannot change a single reported number (DESIGN.md,
-/// "Performance engineering").
+/// schedule cannot change a single reported number (DESIGN.md §11).
 inline void parallel_for_cells(int n, const std::function<void(int)>& fn,
                                int threads = 0) {
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, n);
-  if (threads <= 1) {
-    for (int i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  std::atomic<int> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    pool.emplace_back([&] {
-      for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        fn(i);
-      }
-    });
-  }
-  for (auto& th : pool) th.join();
+  support::ThreadPool::shared().parallel_for(n, fn, threads);
 }
 
 /// Minimal fixed-width table printer for the table/figure harnesses, so the

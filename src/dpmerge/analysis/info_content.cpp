@@ -1,8 +1,10 @@
 #include "dpmerge/analysis/info_content.h"
 
 #include <algorithm>
+#include <span>
 
 #include "dpmerge/obs/obs.h"
+#include "dpmerge/support/thread_pool.h"
 
 namespace dpmerge::analysis {
 
@@ -108,9 +110,11 @@ InfoContent const_info(const BitVector& v) {
 }  // namespace
 
 InfoAnalysis compute_info_content(const Graph& g,
-                                  const InfoRefinements& refinements) {
+                                  const InfoRefinements& refinements,
+                                  int threads) {
   obs::Span span("analysis.info_content");
   obs::stat_add("analysis.info_content.runs");
+  const dfg::Csr& c = g.freeze();
   InfoAnalysis ia;
   ia.at_output_port.assign(static_cast<std::size_t>(g.node_count()), {});
   ia.intrinsic.assign(static_cast<std::size_t>(g.node_count()), {});
@@ -125,14 +129,16 @@ InfoAnalysis compute_info_content(const Graph& g,
     return intrinsic;
   };
 
-  for (NodeId id : g.topo_order()) {
+  // Visits one node: a pure function of its predecessors' already-computed
+  // at_output_port values, writing only its own node/edge slots — which is
+  // what makes the level-parallel schedule bit-identical to the serial one.
+  auto visit = [&](NodeId id) {
     const Node& n = g.node(id);
     const auto idx = static_cast<std::size_t>(id.value);
+    const std::span<const std::int32_t> ins = c.in(id);
 
-    // Operand infos are filled in as the in-edges of n are visited here
-    // (sources are already done, topological order).
     auto operand_ic = [&](int port) {
-      const EdgeId eid = n.in[static_cast<std::size_t>(port)];
+      const EdgeId eid{ins[static_cast<std::size_t>(port)]};
       const Edge& e = g.edge(eid);
       const InfoContent src_ic =
           ia.at_output_port[static_cast<std::size_t>(e.src.value)];
@@ -187,6 +193,21 @@ InfoAnalysis compute_info_content(const Graph& g,
     intrinsic = refined(id, intrinsic);
     ia.intrinsic[idx] = intrinsic;
     ia.at_output_port[idx] = ic_clip(intrinsic, n.width);
+  };
+
+  if (threads == 1) {
+    for (NodeId id : c.topo) visit(id);
+    return ia;
+  }
+  auto& pool = support::ThreadPool::shared();
+  for (int l = 0; l < c.num_levels(); ++l) {
+    const std::span<const NodeId> lv = c.level_span(l);
+    pool.parallel_for_chunks(
+        static_cast<int>(lv.size()), /*grain=*/256,
+        [&](int b, int e) {
+          for (int i = b; i < e; ++i) visit(lv[static_cast<std::size_t>(i)]);
+        },
+        threads);
   }
   return ia;
 }

@@ -86,8 +86,14 @@ struct InfoAnalysis {
 /// node's intrinsic bound with its refinement, if present.
 using InfoRefinements = std::vector<std::optional<InfoContent>>;
 
-/// Single forward (inputs-to-outputs) topological sweep, O(V + E).
+/// Single forward (inputs-to-outputs) sweep over the graph's frozen CSR
+/// view, O(V + E). With `threads > 1` (or 0 = auto) the sweep runs
+/// level-parallel on the shared ThreadPool: nodes of one dataflow level are
+/// mutually independent and every î value is a pure function of the
+/// predecessors' values, so the result is bit-identical to the serial sweep
+/// (DESIGN.md §11).
 InfoAnalysis compute_info_content(const dfg::Graph& g,
-                                  const InfoRefinements& refinements = {});
+                                  const InfoRefinements& refinements = {},
+                                  int threads = 1);
 
 }  // namespace dpmerge::analysis

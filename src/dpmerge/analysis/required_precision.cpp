@@ -1,8 +1,10 @@
 #include "dpmerge/analysis/required_precision.h"
 
 #include <algorithm>
+#include <span>
 
 #include "dpmerge/obs/obs.h"
+#include "dpmerge/support/thread_pool.h"
 
 namespace dpmerge::analysis {
 
@@ -11,28 +13,30 @@ using dfg::Node;
 using dfg::NodeId;
 using dfg::OpKind;
 
-RequiredPrecision compute_required_precision(const Graph& g) {
+RequiredPrecision compute_required_precision(const Graph& g, int threads) {
   obs::Span span("analysis.required_precision");
   obs::stat_add("analysis.required_precision.runs");
+  const dfg::Csr& c = g.freeze();
   RequiredPrecision rp;
   rp.at_output_port.assign(static_cast<std::size_t>(g.node_count()), 0);
   rp.at_input_port.assign(static_cast<std::size_t>(g.node_count()), 0);
 
-  auto order = g.topo_order();
-  // Reverse topological: consumers before producers.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const Node& n = g.node(*it);
+  // One node's r values depend only on its consumers' at_input_port (all at
+  // a strictly smaller reverse level), so the reverse-level-parallel
+  // schedule writes exactly what the serial reverse-topo sweep writes.
+  auto visit = [&](NodeId id) {
+    const Node& n = g.node(id);
     const auto idx = static_cast<std::size_t>(n.id.value);
     if (n.kind == OpKind::Output) {
       // Base case of Definition 4.1: r(input port of an output node) = w(N).
       rp.at_input_port[idx] = n.width;
       rp.at_output_port[idx] = n.width;  // no output port; convenience value
-      continue;
+      return;
     }
     // Output port: max over out-edges of min{w(e), r(p_d)}.
     int r_out = 0;
-    for (dfg::EdgeId eid : n.out) {
-      const dfg::Edge& e = g.edge(eid);
+    for (std::int32_t eid : c.out(id)) {
+      const dfg::Edge& e = g.edge(dfg::EdgeId{eid});
       r_out = std::max(r_out,
                        std::min(e.width, rp.at_input_port[static_cast<std::size_t>(
                                              e.dst.value)]));
@@ -54,6 +58,22 @@ RequiredPrecision compute_required_precision(const Graph& g) {
     } else {
       rp.at_input_port[idx] = std::min(r_out, n.width);
     }
+  };
+
+  if (threads == 1) {
+    // Reverse topological: consumers before producers.
+    for (auto it = c.topo.rbegin(); it != c.topo.rend(); ++it) visit(*it);
+    return rp;
+  }
+  auto& pool = support::ThreadPool::shared();
+  for (int l = 0; l < c.num_rlevels(); ++l) {
+    const std::span<const NodeId> lv = c.rlevel_span(l);
+    pool.parallel_for_chunks(
+        static_cast<int>(lv.size()), /*grain=*/256,
+        [&](int b, int e) {
+          for (int i = b; i < e; ++i) visit(lv[static_cast<std::size_t>(i)]);
+        },
+        threads);
   }
   return rp;
 }

@@ -38,6 +38,11 @@ struct RequiredPrecision {
 
 /// Computes required precision for all ports by a single reverse-topological
 /// sweep (O(V + E)).
-RequiredPrecision compute_required_precision(const dfg::Graph& g);
+/// Single reverse (outputs-to-inputs) sweep over the graph's frozen CSR
+/// view, O(V + E). With `threads > 1` (or 0 = auto) it runs parallel over
+/// reverse dataflow levels; each node's r values are a pure function of its
+/// consumers', so the schedule cannot change a single result (DESIGN.md §11).
+RequiredPrecision compute_required_precision(const dfg::Graph& g,
+                                             int threads = 1);
 
 }  // namespace dpmerge::analysis

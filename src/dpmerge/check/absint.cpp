@@ -294,7 +294,7 @@ AbstractAnalysis compute_abstract(const Graph& g) {
     return aa.at_operand[static_cast<std::size_t>(eid.value)];
   };
 
-  for (NodeId id : g.topo_order()) {
+  for (NodeId id : g.freeze().topo) {
     const Node& n = g.node(id);
     // Deliver operands: first resize onto the edge, second onto the node.
     for (EdgeId eid : n.in) {
@@ -473,7 +473,7 @@ CheckReport lint_info_content(const Graph& g, const analysis::InfoAnalysis& ia,
 
   for (const Node& n : g.nodes()) {
     lint_claim(aa.out(n.id), ia.out(n.id), n.width,
-               Locus{"node", n.id.value, -1, n.name}, "output-port", rep);
+               Locus{"node", n.id.value, -1, g.name(n)}, "output-port", rep);
   }
   for (const Edge& e : g.edges()) {
     lint_claim(aa.edge(e.id), ia.edge(e.id), e.width,
@@ -510,7 +510,7 @@ CheckReport lint_required_precision(const Graph& g,
                   ", fresh derivation gives r(out)=" +
                   std::to_string(fresh.at_output_port[i]) + " r(in)=" +
                   std::to_string(fresh.at_input_port[i]),
-              Locus{"node", n.id.value, -1, n.name});
+              Locus{"node", n.id.value, -1, g.name(n)});
     }
   }
   return rep;

@@ -17,15 +17,16 @@ using dfg::Node;
 using dfg::NodeId;
 using dfg::OpKind;
 
-Locus node_locus(const Node& n) {
-  return Locus{"node", n.id.value, -1, n.name};
+Locus node_locus(const Graph& g, const Node& n) {
+  return Locus{"node", n.id.value, -1, g.name(n)};
 }
 
 Locus edge_locus(const Edge& e) { return Locus{"edge", e.id.value, -1, {}}; }
 
-std::string node_tag(const Node& n) {
+std::string node_tag(const Graph& g, const Node& n) {
   return std::string(dfg::to_string(n.kind)) + " node " +
-         std::to_string(n.id.value) + (n.name.empty() ? "" : " '" + n.name + "'");
+         std::to_string(n.id.value) +
+         (g.name(n).empty() ? "" : " '" + g.name(n) + "'");
 }
 
 /// Kahn sweep; reports the nodes stuck on a cycle (non-zero pending count
@@ -108,7 +109,7 @@ CheckReport verify(const Graph& g) {
     }
     if (e.sign == Sign::Signed && dfg::is_comparator(g.node(e.src).kind)) {
       rep.add(Severity::Error, "dfg.sign.comparator",
-              "edge from " + node_tag(g.node(e.src)) +
+              "edge from " + node_tag(g, g.node(e.src)) +
                   " marked signed: the zero-padded 1-bit result would "
                   "reinterpret 1 as -1 across a resize",
               edge_locus(e));
@@ -126,28 +127,28 @@ CheckReport verify(const Graph& g) {
       rep.add(Severity::Error, "dfg.node.id",
               "node at index " + std::to_string(i) + " carries id " +
                   std::to_string(n.id.value),
-              Locus{"node", i, -1, n.name});
+              Locus{"node", i, -1, g.name(n)});
       continue;  // the id-keyed checks below would point at the wrong node
     }
     if (n.width <= 0) {
       rep.add(Severity::Error, "dfg.node.width",
-              node_tag(n) + ": non-positive width " + std::to_string(n.width),
-              node_locus(n));
+              node_tag(g, n) + ": non-positive width " + std::to_string(n.width),
+              node_locus(g, n));
     }
     const int want = dfg::operand_count(n.kind);
     if (static_cast<int>(n.in.size()) != want) {
       rep.add(Severity::Error, "dfg.node.arity",
-              node_tag(n) + ": expected " + std::to_string(want) +
+              node_tag(g, n) + ": expected " + std::to_string(want) +
                   " operand(s), has " + std::to_string(n.in.size()),
-              node_locus(n));
+              node_locus(g, n));
     }
     for (std::size_t p = 0; p < n.in.size(); ++p) {
       const EdgeId eid = n.in[p];
-      Locus at = node_locus(n);
+      Locus at = node_locus(g, n);
       at.aux = static_cast<int>(p);
       if (!eid.valid() || eid.value >= ne) {
         rep.add(Severity::Error, "dfg.port.unconnected",
-                node_tag(n) + ": input port " + std::to_string(p) +
+                node_tag(g, n) + ": input port " + std::to_string(p) +
                     " is unconnected",
                 at);
         continue;
@@ -155,7 +156,7 @@ CheckReport verify(const Graph& g) {
       const Edge& e = g.edge(eid);
       if (e.dst != n.id || e.dst_port != static_cast<int>(p)) {
         rep.add(Severity::Error, "dfg.port.bookkeeping",
-                node_tag(n) + ": in-edge " + std::to_string(eid.value) +
+                node_tag(g, n) + ": in-edge " + std::to_string(eid.value) +
                     " does not target this port",
                 at);
       }
@@ -163,39 +164,39 @@ CheckReport verify(const Graph& g) {
     for (EdgeId eid : n.out) {
       if (!eid.valid() || eid.value >= ne || g.edge(eid).src != n.id) {
         rep.add(Severity::Error, "dfg.port.bookkeeping",
-                node_tag(n) + ": out-edge list names edge " +
+                node_tag(g, n) + ": out-edge list names edge " +
                     std::to_string(eid.value) + " which does not source here",
-                node_locus(n));
+                node_locus(g, n));
       }
     }
     if (n.kind == OpKind::Output && !n.out.empty()) {
       rep.add(Severity::Error, "dfg.output.fanout",
-              node_tag(n) + ": output node has fanout", node_locus(n));
+              node_tag(g, n) + ": output node has fanout", node_locus(g, n));
     }
     if (n.kind == OpKind::Const && n.value.width() != n.width) {
       rep.add(Severity::Error, "dfg.const.canonical",
-              node_tag(n) + ": constant value has width " +
+              node_tag(g, n) + ": constant value has width " +
                   std::to_string(n.value.width()) + ", node declares " +
                   std::to_string(n.width),
-              node_locus(n));
+              node_locus(g, n));
     }
     if (n.kind == OpKind::Shl) {
       if (n.shift < 0) {
         rep.add(Severity::Error, "dfg.shl.shift",
-                node_tag(n) + ": negative shift " + std::to_string(n.shift),
-                node_locus(n));
+                node_tag(g, n) + ": negative shift " + std::to_string(n.shift),
+                node_locus(g, n));
       } else if (n.shift >= n.width && n.width > 0) {
         rep.add(Severity::Warning, "dfg.shl.wide-shift",
-                node_tag(n) + ": shift " + std::to_string(n.shift) +
+                node_tag(g, n) + ": shift " + std::to_string(n.shift) +
                     " >= width " + std::to_string(n.width) +
                     " discards the whole operand",
-                node_locus(n));
+                node_locus(g, n));
       }
     } else if (n.shift != 0) {
       rep.add(Severity::Error, "dfg.shl.shift",
-              node_tag(n) + ": shift attribute " + std::to_string(n.shift) +
+              node_tag(g, n) + ": shift attribute " + std::to_string(n.shift) +
                   " on a non-shift node",
-              node_locus(n));
+              node_locus(g, n));
     }
   }
 
@@ -209,10 +210,10 @@ CheckReport verify(const Graph& g) {
     const auto dst = static_cast<int>(port_keys[k] >> 32);
     const auto port = static_cast<int>(port_keys[k] & 0xffffffffu);
     const Node& n = g.node(NodeId{dst});
-    Locus at = node_locus(n);
+    Locus at = node_locus(g, n);
     at.aux = port;
     rep.add(Severity::Error, "dfg.edge.duplicate-port",
-            node_tag(n) + ": multiple edges target input port " +
+            node_tag(g, n) + ": multiple edges target input port " +
                 std::to_string(port),
             at);
   }

@@ -6,6 +6,7 @@
 #include "dpmerge/cluster/flatten.h"
 #include "dpmerge/obs/obs.h"
 #include "dpmerge/obs/provenance.h"
+#include "dpmerge/support/thread_pool.h"
 
 namespace dpmerge::cluster {
 
@@ -53,94 +54,186 @@ std::string node_label(const Node& n) {
   return std::string(dfg::to_string(n.kind)) + "#" + std::to_string(n.id.value);
 }
 
-/// Break-node analysis (Section 6 conditions, with the corrections and the
-/// per-edge exactness generalisation documented in DESIGN.md §2/§5).
-/// Every candidate merge evaluated here lands in the active DecisionLog:
-/// one per-edge decision with the analysis evidence the rule acted on, and
-/// one node-level verdict (the decision the partition is built from).
-std::vector<bool> compute_breaks(const Graph& g, const InfoAnalysis& ia,
-                                 const RequiredPrecision& rp) {
-  std::vector<bool> brk(static_cast<std::size_t>(g.node_count()), false);
-  obs::prov::DecisionLog* plog = obs::prov::current_log();
-  for (const Node& n : g.nodes()) {
-    if (!dfg::is_arith_operator(n.kind)) continue;
-    bool b = n.out.empty();
-    const char* reason = b ? "no_consumer" : nullptr;
-    for (EdgeId eid : n.out) {
-      if (b) break;
-      const Edge& e = g.edge(eid);
-      const Node& dst = g.node(e.dst);
-      const char* edge_reason = nullptr;
-      int r_in = -1, exact = -1;
-      // Safety Condition 1 (+ primary outputs end clusters).
-      if (!dfg::is_arith_operator(dst.kind)) {
-        edge_reason = "safety1_non_arith";
-      } else if (dst.kind == OpKind::Mul) {
-        // Synthesizability Condition 1.
-        edge_reason = "synth1_mul_operand";
-      } else {
-        // Safety Condition 2, exact-low-bits form: track how many low bits
-        // of the operand delivered through e still equal N's ideal
-        // contribution; the node-level clip and both edge resizes can each
-        // cap it.
-        InfoContent c = ia.out(n.id);
-        int m = ia.intr(n.id).width > n.width ? n.width : kExact;
-        resize_stage(c, m, n.width, e.width, e.sign);
-        resize_stage(c, m, e.width, dst.width, e.sign);
-        r_in = rp.r_in(e.dst);
-        exact = m >= kExact ? -1 : m;
-        if (r_in > m) edge_reason = "safety2_precision";
-      }
-      if (edge_reason) {
-        b = true;
-        reason = edge_reason;
-      }
-      if (plog) {
-        obs::prov::Decision d;
-        d.node = n.id.value;
-        d.dst_node = e.dst.value;
-        d.edge = eid.value;
-        d.node_op = node_label(n);
-        d.rule = std::string("cluster.") + (edge_reason ? edge_reason : "merge");
-        d.verdict = edge_reason ? obs::prov::Verdict::Reject
-                                : obs::prov::Verdict::Accept;
-        d.info_width = ia.out(n.id).width;
-        d.r_in = r_in;
-        d.exact_bits = exact;
-        d.node_width = n.width;
-        d.edge_width = e.width;
-        d.width_savings = std::max(0, n.width - ia.out(n.id).width);
-        plog->add(std::move(d));
-      }
-      if (obs::tracing()) {
-        obs::instant("cluster.decision",
-                     obs::TraceArgs()
-                         .add("src", node_label(n))
-                         .add("dst", node_label(dst))
-                         .add("r_in", rp.r_in(e.dst))
-                         .add("exact_bits", exact)
-                         .add("verdict", b ? "reject" : "accept")
-                         .str());
-      }
+/// The fixed reject-reason vocabulary of the break analysis. Per-chunk
+/// counters are indexed by position here so the parallel path can merge
+/// them into the same `cluster.reject.<reason>` stat keys the serial sweep
+/// emits.
+constexpr const char* kBreakReasons[] = {
+    "no_consumer",
+    "safety1_non_arith",
+    "synth1_mul_operand",
+    "safety2_precision",
+};
+constexpr int kNumBreakReasons =
+    static_cast<int>(sizeof(kBreakReasons) / sizeof(kBreakReasons[0]));
+
+/// Accept/reject tallies for a contiguous node-id range of the break sweep.
+struct BreakStats {
+  std::int64_t accept = 0;
+  std::int64_t reject = 0;
+  std::int64_t by_reason[kNumBreakReasons] = {};
+};
+
+/// Break verdict for one arithmetic node (Section 6 conditions, with the
+/// corrections and the per-edge exactness generalisation documented in
+/// DESIGN.md §2/§5). Every candidate merge evaluated lands in `decisions`
+/// (when non-null): one per-edge decision with the analysis evidence the
+/// rule acted on, and one node-level verdict. Pure apart from the optional
+/// trace emission, so it can run from any thread; callers flush `decisions`
+/// to the DecisionLog on the thread that owns it.
+bool evaluate_break(const Graph& g, const InfoAnalysis& ia,
+                    const RequiredPrecision& rp, const Node& n,
+                    std::vector<obs::prov::Decision>* decisions,
+                    BreakStats& stats) {
+  bool b = n.out.empty();
+  int reason = b ? 0 : -1;  // index into kBreakReasons
+  for (EdgeId eid : n.out) {
+    if (b) break;
+    const Edge& e = g.edge(eid);
+    const Node& dst = g.node(e.dst);
+    int edge_reason = -1;
+    int r_in = -1, exact = -1;
+    // Safety Condition 1 (+ primary outputs end clusters).
+    if (!dfg::is_arith_operator(dst.kind)) {
+      edge_reason = 1;
+    } else if (dst.kind == OpKind::Mul) {
+      // Synthesizability Condition 1.
+      edge_reason = 2;
+    } else {
+      // Safety Condition 2, exact-low-bits form: track how many low bits
+      // of the operand delivered through e still equal N's ideal
+      // contribution; the node-level clip and both edge resizes can each
+      // cap it.
+      InfoContent c = ia.out(n.id);
+      int m = ia.intr(n.id).width > n.width ? n.width : kExact;
+      resize_stage(c, m, n.width, e.width, e.sign);
+      resize_stage(c, m, e.width, dst.width, e.sign);
+      r_in = rp.r_in(e.dst);
+      exact = m >= kExact ? -1 : m;
+      if (r_in > m) edge_reason = 3;
     }
-    brk[static_cast<std::size_t>(n.id.value)] = b;
-    if (plog) {
+    if (edge_reason >= 0) {
+      b = true;
+      reason = edge_reason;
+    }
+    if (decisions) {
       obs::prov::Decision d;
       d.node = n.id.value;
+      d.dst_node = e.dst.value;
+      d.edge = eid.value;
       d.node_op = node_label(n);
-      d.rule = std::string("cluster.") + (reason ? reason : "merge");
-      d.verdict = b ? obs::prov::Verdict::Reject : obs::prov::Verdict::Accept;
+      d.rule = std::string("cluster.") +
+               (edge_reason >= 0 ? kBreakReasons[edge_reason] : "merge");
+      d.verdict = edge_reason >= 0 ? obs::prov::Verdict::Reject
+                                   : obs::prov::Verdict::Accept;
       d.info_width = ia.out(n.id).width;
+      d.r_in = r_in;
+      d.exact_bits = exact;
       d.node_width = n.width;
+      d.edge_width = e.width;
       d.width_savings = std::max(0, n.width - ia.out(n.id).width);
-      plog->add(std::move(d));
+      decisions->push_back(std::move(d));
     }
-    if (obs::StatSink* sink = obs::current_sink()) {
-      sink->add(b ? "cluster.decisions.reject" : "cluster.decisions.accept");
-      if (reason) sink->add(std::string("cluster.reject.") + reason);
+    if (obs::tracing()) {
+      obs::instant("cluster.decision",
+                   obs::TraceArgs()
+                       .add("src", node_label(n))
+                       .add("dst", node_label(dst))
+                       .add("r_in", rp.r_in(e.dst))
+                       .add("exact_bits", exact)
+                       .add("verdict", b ? "reject" : "accept")
+                       .str());
     }
   }
-  return brk;
+  if (decisions) {
+    obs::prov::Decision d;
+    d.node = n.id.value;
+    d.node_op = node_label(n);
+    d.rule = std::string("cluster.") +
+             (reason >= 0 ? kBreakReasons[reason] : "merge");
+    d.verdict = b ? obs::prov::Verdict::Reject : obs::prov::Verdict::Accept;
+    d.info_width = ia.out(n.id).width;
+    d.node_width = n.width;
+    d.width_savings = std::max(0, n.width - ia.out(n.id).width);
+    decisions->push_back(std::move(d));
+  }
+  if (b) {
+    ++stats.reject;
+    if (reason >= 0) ++stats.by_reason[reason];
+  } else {
+    ++stats.accept;
+  }
+  return b;
+}
+
+/// Break-node analysis over the whole graph. With `threads != 1` the sweep
+/// runs chunk-parallel over contiguous node-id ranges; because every chunk
+/// buffers its Decisions and stat tallies locally and the merge below
+/// flushes them in ascending chunk (= node-id) order, the DecisionLog and
+/// the stat counters are byte-identical to the serial sweep's.
+std::vector<bool> compute_breaks(const Graph& g, const InfoAnalysis& ia,
+                                 const RequiredPrecision& rp,
+                                 int threads = 1) {
+  const int n_nodes = g.node_count();
+  obs::prov::DecisionLog* plog = obs::prov::current_log();
+  // Shared verdict array: one byte per node (vector<bool> packs bits and is
+  // not safe for concurrent writes to distinct elements).
+  std::vector<char> verdict(static_cast<std::size_t>(n_nodes), 0);
+
+  constexpr int kGrain = 1024;
+  const int num_chunks = n_nodes > 0 ? (n_nodes + kGrain - 1) / kGrain : 0;
+  struct ChunkOut {
+    std::vector<obs::prov::Decision> decisions;
+    BreakStats stats;
+  };
+  std::vector<ChunkOut> chunks(static_cast<std::size_t>(num_chunks));
+
+  auto run_chunk = [&](int ci) {
+    ChunkOut& co = chunks[static_cast<std::size_t>(ci)];
+    const int lo = ci * kGrain;
+    const int hi = std::min(lo + kGrain, n_nodes);
+    for (int i = lo; i < hi; ++i) {
+      const Node& n = g.node(NodeId{i});
+      if (!dfg::is_arith_operator(n.kind)) continue;
+      verdict[static_cast<std::size_t>(i)] =
+          evaluate_break(g, ia, rp, n, plog ? &co.decisions : nullptr,
+                         co.stats)
+              ? 1
+              : 0;
+    }
+  };
+  if (threads == 1 || num_chunks <= 1) {
+    for (int ci = 0; ci < num_chunks; ++ci) run_chunk(ci);
+  } else {
+    support::ThreadPool::shared().parallel_for(num_chunks, run_chunk,
+                                               threads);
+  }
+
+  // Canonical merge, ascending node-id order: DecisionLog::add stamps
+  // sequence ids at add time, so this reproduces the serial log exactly.
+  BreakStats total;
+  for (ChunkOut& co : chunks) {
+    if (plog) {
+      for (auto& d : co.decisions) plog->add(std::move(d));
+    }
+    total.accept += co.stats.accept;
+    total.reject += co.stats.reject;
+    for (int k = 0; k < kNumBreakReasons; ++k) {
+      total.by_reason[k] += co.stats.by_reason[k];
+    }
+  }
+  if (obs::StatSink* sink = obs::current_sink()) {
+    // Only touch keys the serial sweep would have created.
+    if (total.accept) sink->add("cluster.decisions.accept", total.accept);
+    if (total.reject) sink->add("cluster.decisions.reject", total.reject);
+    for (int k = 0; k < kNumBreakReasons; ++k) {
+      if (total.by_reason[k]) {
+        sink->add(std::string("cluster.reject.") + kBreakReasons[k],
+                  total.by_reason[k]);
+      }
+    }
+  }
+  return std::vector<bool>(verdict.begin(), verdict.end());
 }
 
 }  // namespace
@@ -163,9 +256,9 @@ ClusterResult cluster_maximal(const Graph& g, const ClusterOptions& opt) {
       plog->next_iteration();
     }
     res.iterations = iter + 1;
-    res.info = analysis::compute_info_content(g, res.refinements);
-    res.rp = analysis::compute_required_precision(g);
-    const auto breaks = compute_breaks(g, res.info, res.rp);
+    res.info = analysis::compute_info_content(g, res.refinements, opt.threads);
+    res.rp = analysis::compute_required_precision(g, opt.threads);
+    const auto breaks = compute_breaks(g, res.info, res.rp, opt.threads);
     res.partition = partition_from_breaks(g, breaks);
     res.per_iteration.push_back(
         {res.partition.num_clusters(),
@@ -175,13 +268,31 @@ ClusterResult cluster_maximal(const Graph& g, const ClusterOptions& opt) {
 
     // Section 5.2 / Section 6 refinement: recompute each cluster output's
     // information content under the optimal (Huffman) operation ordering;
-    // any tightening may dissolve a break in the next round.
+    // any tightening may dissolve a break in the next round. The bound of
+    // each cluster is independent of every other's (flatten + Huffman over
+    // const analyses), so they are computed cluster-parallel and applied
+    // serially in cluster order — bit-identical to the serial loop.
+    const auto& clusters = res.partition.clusters;
+    std::vector<InfoContent> bounds(clusters.size());
+    auto eval_bound = [&](int i) {
+      bounds[static_cast<std::size_t>(i)] = rebalanced_cluster_bound(
+          g, clusters[static_cast<std::size_t>(i)], res.info);
+    };
+    if (opt.threads == 1) {
+      for (int i = 0; i < static_cast<int>(clusters.size()); ++i) {
+        eval_bound(i);
+      }
+    } else {
+      support::ThreadPool::shared().parallel_for(
+          static_cast<int>(clusters.size()), eval_bound, opt.threads);
+    }
     int refined = 0;
-    for (const Cluster& c : res.partition.clusters) {
-      const InfoContent h = rebalanced_cluster_bound(g, c, res.info);
-      const InfoContent cur = res.info.intr(c.root);
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      const InfoContent& h = bounds[i];
+      const InfoContent cur = res.info.intr(clusters[i].root);
       if (h.width < cur.width) {
-        auto& slot = res.refinements[static_cast<std::size_t>(c.root.value)];
+        auto& slot =
+            res.refinements[static_cast<std::size_t>(clusters[i].root.value)];
         slot = slot.has_value() ? analysis::ic_meet(*slot, h) : h;
         ++refined;
       }
@@ -204,7 +315,7 @@ namespace {
 /// information-content analysis removes.
 std::vector<int> natural_widths(const Graph& g) {
   std::vector<int> nat(static_cast<std::size_t>(g.node_count()), 0);
-  for (NodeId id : g.topo_order()) {
+  for (NodeId id : g.freeze().topo) {
     const Node& n = g.node(id);
     auto opw = [&](int port) {
       const Edge& e = g.edge(n.in[static_cast<std::size_t>(port)]);

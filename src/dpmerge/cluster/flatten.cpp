@@ -1,7 +1,6 @@
 #include "dpmerge/cluster/flatten.h"
 
 #include <cstdlib>
-#include <functional>
 
 namespace dpmerge::cluster {
 
@@ -20,45 +19,68 @@ FlattenedCluster flatten_cluster(const Graph& g, const Cluster& c) {
   std::vector<bool> member(static_cast<std::size_t>(g.node_count()), false);
   for (NodeId n : c.nodes) member[static_cast<std::size_t>(n.value)] = true;
 
-  std::function<void(NodeId, bool, int)> walk = [&](NodeId id, bool neg,
-                                                    int shift) {
-    const Node& n = g.node(id);
-    auto handle = [&](EdgeId eid, bool sub_neg) {
+  // Explicit-stack pre-order walk (clusters can be 100k-node chains; a
+  // recursive walk overflows the stack). Each stack item is either a member
+  // node to expand or an already-resolved term; both are pushed in reverse
+  // operand order so terms pop out in the same left-to-right order the
+  // natural recursion would emit them.
+  struct Item {
+    bool is_term;
+    Term term;    // valid when is_term
+    NodeId id;    // valid when !is_term
+    bool neg;
+    int shift;
+  };
+  std::vector<Item> stack;
+  stack.push_back(Item{false, {}, c.root, false, 0});
+  Item pending[2];
+  while (!stack.empty()) {
+    const Item f = std::move(stack.back());
+    stack.pop_back();
+    if (f.is_term) {
+      out.terms.push_back(std::move(f.term));
+      continue;
+    }
+    const Node& n = g.node(f.id);
+    int npending = 0;
+    auto handle = [&](EdgeId eid, bool sub_neg, int shift) {
       const NodeId src = g.edge(eid).src;
       if (member[static_cast<std::size_t>(src.value)]) {
-        walk(src, sub_neg, shift);
+        pending[npending++] = Item{false, {}, src, sub_neg, shift};
       } else {
-        out.terms.push_back(Term{sub_neg, {eid}, n.width, shift});
+        pending[npending++] =
+            Item{true, Term{sub_neg, {eid}, n.width, shift}, {}, false, 0};
       }
     };
     switch (n.kind) {
       case OpKind::Add:
-        handle(n.in[0], neg);
-        handle(n.in[1], neg);
+        handle(n.in[0], f.neg, f.shift);
+        handle(n.in[1], f.neg, f.shift);
         break;
       case OpKind::Sub:
-        handle(n.in[0], neg);
-        handle(n.in[1], !neg);
+        handle(n.in[0], f.neg, f.shift);
+        handle(n.in[1], !f.neg, f.shift);
         break;
       case OpKind::Neg:
-        handle(n.in[0], !neg);
+        handle(n.in[0], !f.neg, f.shift);
         break;
       case OpKind::Shl:
         // x << s scales every addend below by 2^s.
-        shift += n.shift;
-        handle(n.in[0], neg);
+        handle(n.in[0], f.neg, f.shift + n.shift);
         break;
       case OpKind::Mul:
         // Synthesizability Condition 1 guarantees multiplier operands enter
         // the cluster from outside; the product is a single addend.
-        out.terms.push_back(Term{neg, {n.in[0], n.in[1]}, n.width, shift});
+        out.terms.push_back(Term{f.neg, {n.in[0], n.in[1]}, n.width, f.shift});
         break;
       default:
         // Clusters contain only arithmetic operators.
         break;
     }
-  };
-  walk(c.root, false, 0);
+    for (int k = npending - 1; k >= 0; --k) {
+      stack.push_back(std::move(pending[k]));
+    }
+  }
   return out;
 }
 

@@ -5,7 +5,9 @@
 
 namespace dpmerge::dfg {
 
-Evaluator::Evaluator(const Graph& g) : g_(g), order_(g.topo_order()) {
+// The frozen CSR view already carries the Kahn topo order; reuse it instead
+// of re-deriving one per Evaluator.
+Evaluator::Evaluator(const Graph& g) : g_(g), order_(g.freeze().topo) {
   input_order_ = g.inputs();
 }
 
@@ -38,7 +40,7 @@ std::vector<BitVector> Evaluator::run(
     const Node& n = g_.node(input_order_[i]);
     if (inputs[i].width() != n.width) {
       throw std::invalid_argument("stimulus width mismatch for input '" +
-                                  n.name + "'");
+                                  g_.name(n) + "'");
     }
     results[static_cast<std::size_t>(n.id.value)] = inputs[i];
   }
@@ -133,10 +135,10 @@ std::vector<BitVector> permute_by_name(const Graph& a, const Graph& b,
   std::vector<BitVector> out;
   out.reserve(bi.size());
   for (NodeId bid : bi) {
-    const std::string& name = b.node(bid).name;
+    const std::string& name = b.name(bid);
     bool found = false;
     for (std::size_t k = 0; k < ai.size(); ++k) {
-      if (a.node(ai[k]).name == name) {
+      if (a.name(ai[k]) == name) {
         out.push_back(vals[k]);
         found = true;
         break;
@@ -165,10 +167,10 @@ bool equivalent_by_simulation(const Graph& a, const Graph& b, int trials,
     const auto rb = eb.run_outputs(permute_by_name(a, b, stim_a));
     for (std::size_t i = 0; i < ra.size(); ++i) {
       // Match b's output by name, to tolerate node-id reordering.
-      const std::string& name = a.node(a_outs[i]).name;
+      const std::string& name = a.name(a_outs[i]);
       std::size_t j = 0;
       for (; j < b_outs.size(); ++j) {
-        if (b.node(b_outs[j]).name == name) break;
+        if (b.name(b_outs[j]) == name) break;
       }
       if (j == b_outs.size() || ra[i] != rb[j]) {
         if (first_mismatch) {

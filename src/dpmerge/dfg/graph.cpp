@@ -76,13 +76,34 @@ std::string_view to_string(OpKind k) {
   return "?";
 }
 
+const std::string& Graph::empty_name() {
+  static const std::string empty;
+  return empty;
+}
+
+std::int32_t Graph::intern_name(std::string name) {
+  if (name.empty()) return -1;
+  const auto it = name_ids_.find(name);
+  if (it != name_ids_.end()) return it->second;
+  const auto id = static_cast<std::int32_t>(names_.size());
+  name_ids_.emplace(name, id);
+  names_.push_back(std::move(name));
+  return id;
+}
+
+void Graph::reserve(int nodes, int edges) {
+  nodes_.reserve(static_cast<std::size_t>(nodes));
+  edges_.reserve(static_cast<std::size_t>(edges));
+}
+
 NodeId Graph::add_node(OpKind kind, int width, std::string name) {
   Node n;
   n.id = NodeId{node_count()};
   n.kind = kind;
   n.width = width;
-  n.name = std::move(name);
+  n.name_id = intern_name(std::move(name));
   nodes_.push_back(std::move(n));
+  ++version_;
   return nodes_.back().id;
 }
 
@@ -113,6 +134,7 @@ EdgeId Graph::add_edge(NodeId src, NodeId dst, int dst_port, int width,
   assert(!dn.in[static_cast<std::size_t>(dst_port)].valid() &&
          "input port already connected");
   dn.in[static_cast<std::size_t>(dst_port)] = e.id;
+  ++version_;
   return e.id;
 }
 
@@ -152,6 +174,7 @@ NodeId Graph::insert_extension_after(NodeId n, int ext_width, Sign ext_sign,
     edges_[static_cast<std::size_t>(eid.value)].src = ext;
     nodes_[static_cast<std::size_t>(ext.value)].out.push_back(eid);
   }
+  ++version_;
   add_edge(n, ext, 0, edge_width, ext_sign);
   return ext;
 }
@@ -169,6 +192,7 @@ NodeId Graph::insert_extension_retarget(NodeId n, int ext_width,
     edges_[static_cast<std::size_t>(eid.value)].src = ext;
     nodes_[static_cast<std::size_t>(ext.value)].out.push_back(eid);
   }
+  ++version_;
   add_edge(n, ext, 0, node(n).width, ext_sign);
   return ext;
 }
@@ -189,11 +213,14 @@ std::vector<NodeId> Graph::outputs() const {
   return r;
 }
 
-std::vector<NodeId> Graph::topo_order() const {
-  std::vector<int> pending(nodes_.size(), 0);
-  std::vector<NodeId> order;
+void Graph::topo_order_into(std::vector<NodeId>& order,
+                            TopoScratch& scratch) const {
+  auto& pending = scratch.pending;
+  auto& ready = scratch.ready;
+  pending.assign(nodes_.size(), 0);
+  ready.clear();
+  order.clear();
   order.reserve(nodes_.size());
-  std::vector<NodeId> ready;
   for (const auto& n : nodes_) {
     int cnt = 0;
     for (EdgeId e : n.in) {
@@ -213,6 +240,12 @@ std::vector<NodeId> Graph::topo_order() const {
       }
     }
   }
+}
+
+std::vector<NodeId> Graph::topo_order() const {
+  std::vector<NodeId> order;
+  TopoScratch scratch;
+  topo_order_into(order, scratch);
   assert(order.size() == nodes_.size() && "graph has a cycle");
   return order;
 }
@@ -220,33 +253,36 @@ std::vector<NodeId> Graph::topo_order() const {
 std::vector<std::string> Graph::validate() const {
   std::vector<std::string> errs;
   auto err = [&errs](std::string m) { errs.push_back(std::move(m)); };
+  // The tag string is built lazily — only when a violation is reported — so
+  // validating a clean 100k-node graph stays allocation-free per node.
+  auto tag = [](const Node& n) {
+    return "node " + std::to_string(n.id.value) + " (" +
+           std::string(to_string(n.kind)) + ")";
+  };
 
   for (const auto& n : nodes_) {
-    const std::string tag =
-        "node " + std::to_string(n.id.value) + " (" +
-        std::string(to_string(n.kind)) + ")";
-    if (n.width <= 0) err(tag + ": non-positive width");
+    if (n.width <= 0) err(tag(n) + ": non-positive width");
     const int want = operand_count(n.kind);
     if (static_cast<int>(n.in.size()) != want) {
-      err(tag + ": expected " + std::to_string(want) + " operands, has " +
+      err(tag(n) + ": expected " + std::to_string(want) + " operands, has " +
           std::to_string(n.in.size()));
     }
     for (std::size_t p = 0; p < n.in.size(); ++p) {
       if (!n.in[p].valid()) {
-        err(tag + ": input port " + std::to_string(p) + " unconnected");
+        err(tag(n) + ": input port " + std::to_string(p) + " unconnected");
       } else if (edge(n.in[p]).dst != n.id ||
                  edge(n.in[p]).dst_port != static_cast<int>(p)) {
-        err(tag + ": inconsistent in-edge bookkeeping");
+        err(tag(n) + ": inconsistent in-edge bookkeeping");
       }
     }
     if (n.kind == OpKind::Output && !n.out.empty()) {
-      err(tag + ": output node has fanout");
+      err(tag(n) + ": output node has fanout");
     }
     for (EdgeId eid : n.out) {
-      if (edge(eid).src != n.id) err(tag + ": inconsistent out-edge");
+      if (edge(eid).src != n.id) err(tag(n) + ": inconsistent out-edge");
     }
     if (n.kind == OpKind::Const && n.value.width() != n.width) {
-      err(tag + ": const value width mismatch");
+      err(tag(n) + ": const value width mismatch");
     }
   }
   for (const auto& e : edges_) {
@@ -254,31 +290,13 @@ std::vector<std::string> Graph::validate() const {
       err("edge " + std::to_string(e.id.value) + ": non-positive width");
     }
   }
-  // Acyclicity: topo_order asserts in debug; check explicitly here.
+  // Acyclicity, via the shared allocation-free Kahn sweep (a cycle shows up
+  // as a partial order).
   {
-    std::vector<int> pending(nodes_.size(), 0);
-    std::vector<NodeId> ready;
-    std::size_t seen = 0;
-    for (const auto& n : nodes_) {
-      int cnt = 0;
-      for (EdgeId e : n.in) {
-        if (e.valid()) ++cnt;
-      }
-      pending[static_cast<std::size_t>(n.id.value)] = cnt;
-      if (cnt == 0) ready.push_back(n.id);
-    }
-    while (!ready.empty()) {
-      const NodeId id = ready.back();
-      ready.pop_back();
-      ++seen;
-      for (EdgeId eid : node(id).out) {
-        const NodeId d = edge(eid).dst;
-        if (--pending[static_cast<std::size_t>(d.value)] == 0) {
-          ready.push_back(d);
-        }
-      }
-    }
-    if (seen != nodes_.size()) err("graph contains a cycle");
+    std::vector<NodeId> order;
+    TopoScratch scratch;
+    topo_order_into(order, scratch);
+    if (order.size() != nodes_.size()) err("graph contains a cycle");
   }
   return errs;
 }
@@ -288,7 +306,7 @@ std::string Graph::to_dot(const std::vector<std::string>& annotations) const {
   os << "digraph dfg {\n  rankdir=TB;\n";
   for (const auto& n : nodes_) {
     os << "  n" << n.id.value << " [label=\"";
-    if (!n.name.empty()) os << n.name << "\\n";
+    if (!name(n).empty()) os << name(n) << "\\n";
     os << to_string(n.kind) << " w=" << n.width;
     if (n.kind == OpKind::Extension) os << " t=" << to_string(n.ext_sign);
     if (n.kind == OpKind::Shl) os << " <<" << n.shift;

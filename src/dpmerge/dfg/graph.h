@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cassert>
+#include <cstdint>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dpmerge/support/bitvector.h"
@@ -57,14 +60,18 @@ struct EdgeId {
 /// Definition 5.5) and for `Input` nodes, where it declares how the
 /// environment interprets the input value (used only as documentation and by
 /// workload generators; the analyses derive signedness from edges).
+///
+/// Names are interned in the owning Graph (`Graph::name(id)`); a node only
+/// pays a 4-byte pool index, so megagraphs with mostly-anonymous interior
+/// nodes carry no per-node string.
 struct Node {
   NodeId id;
   OpKind kind = OpKind::Add;
   int width = 0;
   int shift = 0;  ///< Shift amount; only for OpKind::Shl.
   Sign ext_sign = Sign::Unsigned;
+  std::int32_t name_id = -1;  ///< Interned name pool index; -1 = unnamed.
   BitVector value;    ///< Constant value; only for OpKind::Const.
-  std::string name;   ///< Optional; inputs/outputs usually carry one.
   std::vector<EdgeId> in;   ///< Ordered by destination port index.
   std::vector<EdgeId> out;  ///< Unordered fanout list.
 };
@@ -82,11 +89,84 @@ struct Edge {
   Sign sign = Sign::Unsigned;  ///< t(e)
 };
 
+/// Frozen compressed-sparse-row view of a Graph's *structure*: flat fanin /
+/// fanout edge-id arrays plus the traversal products every hot pass needs
+/// (topological order, forward/reverse dataflow levels). Built once by
+/// `Graph::freeze()` and cached until the next structural mutation; width /
+/// sign / shift updates do NOT invalidate it (read those through the Graph).
+///
+/// The point is cache behaviour at 100k+-node scale: a sweep touches two
+/// flat int32 arrays instead of chasing a per-node `std::vector<EdgeId>`
+/// allocation, and the level buckets give parallel sweeps their natural
+/// grain (all nodes of one level are mutually independent — DESIGN.md §11).
+struct Csr {
+  int num_nodes = 0;
+  int num_edges = 0;
+
+  /// Fanout: out-edge ids of node v are out_edges[out_begin[v]..out_begin[v+1]).
+  std::vector<std::int32_t> out_begin;
+  std::vector<std::int32_t> out_edges;
+  /// Fanin: in-edge ids of node v in destination-port order (invalid /
+  /// unconnected ports are skipped).
+  std::vector<std::int32_t> in_begin;
+  std::vector<std::int32_t> in_edges;
+
+  /// Kahn-LIFO topological order — element-for-element identical to
+  /// `Graph::topo_order()` (cluster numbering and netlist emission depend on
+  /// that order, so the frozen view must not invent a different one).
+  std::vector<NodeId> topo;
+
+  /// Forward dataflow levels: sources are level 0, otherwise
+  /// 1 + max(level of predecessors). `level_nodes` groups nodes by level
+  /// (ascending node id within a level); level l spans
+  /// level_nodes[level_begin[l]..level_begin[l+1]).
+  std::vector<std::int32_t> level;
+  std::vector<std::int32_t> level_begin;
+  std::vector<NodeId> level_nodes;
+
+  /// Reverse levels from the sinks (sinks are rlevel 0), same layout.
+  std::vector<std::int32_t> rlevel;
+  std::vector<std::int32_t> rlevel_begin;
+  std::vector<NodeId> rlevel_nodes;
+
+  std::span<const std::int32_t> out(NodeId v) const {
+    return {out_edges.data() + out_begin[static_cast<std::size_t>(v.value)],
+            out_edges.data() +
+                out_begin[static_cast<std::size_t>(v.value) + 1]};
+  }
+  std::span<const std::int32_t> in(NodeId v) const {
+    return {in_edges.data() + in_begin[static_cast<std::size_t>(v.value)],
+            in_edges.data() + in_begin[static_cast<std::size_t>(v.value) + 1]};
+  }
+  int num_levels() const { return static_cast<int>(level_begin.size()) - 1; }
+  int num_rlevels() const { return static_cast<int>(rlevel_begin.size()) - 1; }
+  std::span<const NodeId> level_span(int l) const {
+    return {level_nodes.data() + level_begin[static_cast<std::size_t>(l)],
+            level_nodes.data() + level_begin[static_cast<std::size_t>(l) + 1]};
+  }
+  std::span<const NodeId> rlevel_span(int l) const {
+    return {rlevel_nodes.data() + rlevel_begin[static_cast<std::size_t>(l)],
+            rlevel_nodes.data() +
+                rlevel_begin[static_cast<std::size_t>(l) + 1]};
+  }
+};
+
+/// Reusable scratch for `Graph::topo_order_into`, so hot callers don't pay
+/// two vector allocations per traversal.
+struct TopoScratch {
+  std::vector<int> pending;
+  std::vector<NodeId> ready;
+};
+
 /// A data flow graph of datapath operators: directed, acyclic, connected
 /// (Section 2.1). Nodes and edges are stored in stable index vectors; ids are
 /// never reused. The only structural mutations the paper's transformations
 /// need are width/sign updates, extension-node insertion and edge rewiring,
 /// all provided here; removal is not supported (and not needed).
+///
+/// Thread-safety: const accessors are safe to call concurrently EXCEPT
+/// `freeze()` (the first call after a structural mutation builds the cache).
+/// Parallel passes freeze once up front, then share the Csr read-only.
 class Graph {
  public:
   NodeId add_node(OpKind kind, int width, std::string name = {});
@@ -97,11 +177,25 @@ class Graph {
   EdgeId add_edge(NodeId src, NodeId dst, int dst_port, int width = 0,
                   Sign sign = Sign::Unsigned);
 
+  /// Pre-sizes the node/edge stores; generators building megagraphs call
+  /// this so construction is two big allocations instead of log(n) regrows.
+  void reserve(int nodes, int edges);
+
   const Node& node(NodeId id) const {
     return nodes_[static_cast<std::size_t>(id.value)];
   }
   const Edge& edge(EdgeId id) const {
     return edges_[static_cast<std::size_t>(id.value)];
+  }
+
+  /// The node's interned name; returns the empty string for unnamed nodes.
+  const std::string& name(NodeId id) const {
+    const std::int32_t nid = node(id).name_id;
+    return nid < 0 ? empty_name() : names_[static_cast<std::size_t>(nid)];
+  }
+  const std::string& name(const Node& n) const {
+    return n.name_id < 0 ? empty_name()
+                         : names_[static_cast<std::size_t>(n.name_id)];
   }
 
   int node_count() const { return static_cast<int>(nodes_.size()); }
@@ -137,6 +231,19 @@ class Graph {
   /// Nodes in a topological order (sources first). The graph must be acyclic.
   std::vector<NodeId> topo_order() const;
 
+  /// Allocation-free topo sweep for hot callers: writes the order into
+  /// `order` (cleared and refilled) using `scratch`'s buffers. Emits a
+  /// partial order if the graph has a cycle (callers compare sizes).
+  void topo_order_into(std::vector<NodeId>& order, TopoScratch& scratch) const;
+
+  /// Frozen CSR view of the current structure (see `Csr`). Cached; rebuilt
+  /// lazily after the next `add_node`/`add_edge`/`insert_extension_*`.
+  /// Width/sign/shift setters do not invalidate it.
+  const Csr& freeze() const;
+
+  /// Bumped on every structural mutation; the Csr cache keys off it.
+  std::uint64_t structure_version() const { return version_; }
+
   /// Source-node result width feeding this edge (w(src)).
   int src_width(EdgeId e) const { return node(edge(e).src).width; }
 
@@ -151,8 +258,17 @@ class Graph {
       const std::vector<std::string>& node_annotations = {}) const;
 
  private:
+  static const std::string& empty_name();
+  std::int32_t intern_name(std::string name);
+
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
+  std::vector<std::string> names_;  ///< Interned name pool (see Node::name_id).
+  std::unordered_map<std::string, std::int32_t> name_ids_;
+
+  std::uint64_t version_ = 0;  ///< Structural mutation counter.
+  mutable Csr csr_;
+  mutable std::uint64_t csr_version_ = ~std::uint64_t{0};
 };
 
 }  // namespace dpmerge::dfg

@@ -11,7 +11,7 @@ namespace {
 
 std::string node_ref(const Graph& g, NodeId id) {
   const Node& n = g.node(id);
-  return n.name.empty() ? "_n" + std::to_string(n.id.value) : n.name;
+  return g.name(n).empty() ? "_n" + std::to_string(n.id.value) : g.name(n);
 }
 
 OpKind kind_from(const std::string& s, int line) {

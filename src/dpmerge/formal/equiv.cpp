@@ -144,7 +144,7 @@ SymbolicInputs::SymbolicInputs(Bdd& m, const Graph& g) {
       w.bits.push_back(m.var(b * n + i));  // bit-interleaved order
       total_bits_ = std::max(total_bits_, b * n + i + 1);
     }
-    words_.emplace_back(node.name, std::move(w));
+    words_.emplace_back(g.name(node), std::move(w));
   }
 }
 
@@ -185,15 +185,15 @@ std::vector<Word> sym_eval_graph(Bdd& m, const Graph& g,
     return sym_resize(m, carried, n.width, second);
   };
 
-  for (NodeId id : g.topo_order()) {
+  for (NodeId id : g.freeze().topo) {
     const Node& n = g.node(id);
     auto& out = result[static_cast<std::size_t>(id.value)];
     switch (n.kind) {
       case OpKind::Input:
-        out = in.by_name(n.name);
+        out = in.by_name(g.name(n));
         if (out.width() != n.width) {
           throw std::invalid_argument("symbolic width mismatch on input '" +
-                                      n.name + "'");
+                                      g.name(n) + "'");
         }
         break;
       case OpKind::Const:
@@ -335,7 +335,7 @@ EquivResult check_netlist_vs_graph(const Netlist& n, const Graph& g,
     const auto graph_vals = sym_eval_graph(m, g, in);
     const auto net_outs = sym_eval_netlist(m, n, in);
     for (NodeId oid : g.outputs()) {
-      const std::string& name = g.node(oid).name;
+      const std::string& name = g.name(oid);
       const Word& expect = graph_vals[static_cast<std::size_t>(oid.value)];
       const Word* got = nullptr;
       for (const auto& [nm, w] : net_outs) {
@@ -367,10 +367,10 @@ EquivResult check_graph_vs_graph(const Graph& a, const Graph& b,
     const auto va = sym_eval_graph(m, a, in);
     const auto vb = sym_eval_graph(m, b, in);
     for (NodeId oa : a.outputs()) {
-      const std::string& name = a.node(oa).name;
+      const std::string& name = a.name(oa);
       NodeId ob{};
       for (NodeId cand : b.outputs()) {
-        if (b.node(cand).name == name) ob = cand;
+        if (b.name(cand) == name) ob = cand;
       }
       if (!ob.valid()) {
         EquivResult r;

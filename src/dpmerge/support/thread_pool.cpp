@@ -1,0 +1,156 @@
+#include "dpmerge/support/thread_pool.h"
+
+#include <algorithm>
+
+namespace dpmerge::support {
+
+namespace {
+
+/// True on a thread currently executing pool work; nested parallel_for calls
+/// from such a thread run inline instead of re-entering the dispatcher.
+bool& t_in_pool_work() {
+  thread_local bool in = false;
+  return in;
+}
+
+std::atomic<int>& shared_threads_config() {
+  static std::atomic<int> threads{0};
+  return threads;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::max(threads, 1);
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 0; t < threads - 1; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    ++epoch_;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::drain() {
+  if (chunked_) {
+    const int grain = job_grain_;
+    for (int b = next_.fetch_add(grain); b < job_n_;
+         b = next_.fetch_add(grain)) {
+      (*chunk_fn_)(b, std::min(b + grain, job_n_));
+    }
+  } else {
+    for (int i = next_.fetch_add(1); i < job_n_; i = next_.fetch_add(1)) {
+      (*fn_)(i);
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_in_pool_work() = true;
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+    if (stop_) return;
+    seen = epoch_;
+    if (!job_open_ || participants_ >= max_participants_) continue;
+    ++participants_;
+    ++running_;
+    lk.unlock();
+    drain();
+    lk.lock();
+    if (--running_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn,
+                              int max_threads) {
+  if (n <= 0) return;
+  if (workers_.empty() || n == 1 || max_threads == 1 || t_in_pool_work()) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> job_lock(job_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_open_ = true;
+    chunked_ = false;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    fn_ = &fn;
+    participants_ = 0;
+    const int def = default_cap_.load();
+    const int cap = max_threads > 0 ? max_threads : (def > 0 ? def : size());
+    max_participants_ = std::min({static_cast<int>(workers_.size()),
+                                  std::max(cap - 1, 0), n - 1});
+    ++epoch_;
+  }
+  cv_.notify_all();
+  t_in_pool_work() = true;
+  drain();
+  t_in_pool_work() = false;
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return running_ == 0; });
+  job_open_ = false;
+}
+
+void ThreadPool::parallel_for_chunks(int n, int grain,
+                                     const std::function<void(int, int)>& fn,
+                                     int max_threads) {
+  if (n <= 0) return;
+  grain = std::max(grain, 1);
+  if (workers_.empty() || n <= grain || max_threads == 1 ||
+      t_in_pool_work()) {
+    fn(0, n);
+    return;
+  }
+  std::lock_guard<std::mutex> job_lock(job_mu_);
+  const int chunks = (n + grain - 1) / grain;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_open_ = true;
+    chunked_ = true;
+    job_n_ = n;
+    job_grain_ = grain;
+    next_.store(0, std::memory_order_relaxed);
+    chunk_fn_ = &fn;
+    participants_ = 0;
+    const int def = default_cap_.load();
+    const int cap = max_threads > 0 ? max_threads : (def > 0 ? def : size());
+    max_participants_ = std::min({static_cast<int>(workers_.size()),
+                                  std::max(cap - 1, 0), chunks - 1});
+    ++epoch_;
+  }
+  cv_.notify_all();
+  t_in_pool_work() = true;
+  drain();
+  t_in_pool_work() = false;
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return running_ == 0; });
+  job_open_ = false;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(shared_threads_config().load());
+  return pool;
+}
+
+void ThreadPool::set_shared_threads(int threads) {
+  threads = std::max(threads, 0);
+  shared_threads_config().store(threads);
+  shared().set_default_cap(threads);
+}
+
+int ThreadPool::shared_threads() { return shared_threads_config().load(); }
+
+}  // namespace dpmerge::support

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dpmerge::support {
+
+/// A persistent worker pool with a deterministic `parallel_for`. One shared
+/// instance (`ThreadPool::shared()`) serves the whole process: the table and
+/// scale benches spread their (design x flow) cells on it, and the parallel
+/// clusterer spreads its per-iteration stages on it.
+///
+/// Determinism contract (DESIGN.md §11): `parallel_for(n, fn)` guarantees
+/// only that `fn(i)` runs exactly once for every i in [0, n) before the call
+/// returns — never which thread runs it or in what order. A caller that
+/// wants schedule-independent results must make each `fn(i)` a pure function
+/// of `i` that writes only into its own pre-sized result slot; any
+/// randomness must come from an Rng seeded per index. Every use in this
+/// library follows that rule, which is what makes the parallel clusterer
+/// bit-identical to the serial one.
+///
+/// The calling thread always participates in the loop, so a pool of size 1
+/// (or a machine reporting one core) degrades to a plain serial loop with no
+/// synchronisation. Nested `parallel_for` calls from inside a worker run the
+/// inner loop inline on that worker (no deadlock, no oversubscription).
+class ThreadPool {
+ public:
+  /// `threads` is the total parallel width including the calling thread;
+  /// 0 means hardware concurrency. The pool spawns `threads - 1` workers.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallel width (workers + the participating caller).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs `fn(i)` exactly once for every i in [0, n), using at most
+  /// `max_threads` threads (0 = the pool's full width). Blocks until every
+  /// index ran. Safe to call from inside a worker (runs inline).
+  void parallel_for(int n, const std::function<void(int)>& fn,
+                    int max_threads = 0);
+
+  /// Chunked variant: runs `fn(begin, end)` over [0, n) split into chunks of
+  /// at most `grain` indices. Lower dispatch overhead for cheap bodies.
+  void parallel_for_chunks(int n, int grain,
+                           const std::function<void(int, int)>& fn,
+                           int max_threads = 0);
+
+  /// Caps the width of future `parallel_for`/`parallel_for_chunks` calls
+  /// that pass `max_threads == 0` (0 restores the pool's full width).
+  void set_default_cap(int cap) { default_cap_.store(cap); }
+
+  /// The process-wide pool, created on first use with the
+  /// `set_shared_threads` width (0 = hardware concurrency at creation time).
+  static ThreadPool& shared();
+
+  /// Sets the width used when `shared()` first creates the pool, and the
+  /// default cap applied to later `parallel_for` calls on it (a CLI
+  /// `--threads N` lands here; 0 restores "use everything"). The pool's
+  /// worker count is fixed at first `shared()` use; later calls only move
+  /// the cap.
+  static void set_shared_threads(int threads);
+  static int shared_threads();
+
+ private:
+  void worker_loop();
+  void drain();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;       // workers wait for a new job epoch
+  std::condition_variable done_cv_;  // caller waits for workers to finish
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+  int running_ = 0;       // workers currently inside drain()
+  int participants_ = 0;  // workers admitted to the current job
+  int max_participants_ = 0;
+  std::atomic<int> default_cap_{0};
+
+  // Current job (valid while job_open_): an atomic index dispenser.
+  std::mutex job_mu_;  // serialises concurrent parallel_for callers
+  bool job_open_ = false;
+  bool chunked_ = false;
+  int job_n_ = 0;
+  int job_grain_ = 1;
+  std::atomic<int> next_{0};
+  const std::function<void(int)>* fn_ = nullptr;
+  const std::function<void(int, int)>* chunk_fn_ = nullptr;
+};
+
+}  // namespace dpmerge::support

@@ -21,7 +21,7 @@ std::string owner_label(const dfg::Graph& g, int owner) {
   const dfg::Node& n = g.node(dfg::NodeId{owner});
   std::string s(dfg::to_string(n.kind));
   s += "#" + std::to_string(owner);
-  if (!n.name.empty()) s += " '" + n.name + "'";
+  if (!g.name(n).empty()) s += " '" + g.name(n) + "'";
   return s;
 }
 
@@ -184,7 +184,7 @@ std::string provenance_dot(const Explanation& e) {
   for (const dfg::Node& n : g.nodes()) {
     os << "  n" << n.id.value << " [label=\"" << dfg::to_string(n.kind) << "#"
        << n.id.value;
-    if (!n.name.empty()) os << "\\n" << n.name;
+    if (!g.name(n).empty()) os << "\\n" << g.name(n);
     os << "\\nw=" << n.width;
     const int ci = p.index_of(n.id);
     if (ci >= 0 && p.clusters[static_cast<std::size_t>(ci)].root == n.id) {

@@ -36,7 +36,7 @@ Netlist synthesize_partition(const Graph& g, const Partition& p,
   Netlist net;
   std::vector<Signal> sig(static_cast<std::size_t>(g.node_count()));
 
-  for (NodeId id : g.topo_order()) {
+  for (NodeId id : g.freeze().topo) {
     const Node& n = g.node(id);
     // Provenance: every gate created while synthesising this node's turn is
     // owned by it (cluster roots own their whole CSA tree + CPA). Side
@@ -46,7 +46,7 @@ Netlist synthesize_partition(const Graph& g, const Partition& p,
     switch (n.kind) {
       case OpKind::Input: {
         for (int i = 0; i < n.width; ++i) s.bits.push_back(net.new_net());
-        net.add_input(n.name, s);
+        net.add_input(g.name(n), s);
         break;
       }
       case OpKind::Const:
@@ -54,7 +54,7 @@ Netlist synthesize_partition(const Graph& g, const Partition& p,
         break;
       case OpKind::Output:
         s = operand_signal(net, g, n.in[0], sig);
-        net.add_output(n.name, s);
+        net.add_output(g.name(n), s);
         break;
       case OpKind::Extension:
         // Pure wiring: truncation selects bits, extension replicates the
@@ -115,19 +115,22 @@ Netlist synthesize_partition(const Graph& g, const Partition& p,
   return net;
 }
 
-cluster::ClusterResult prepare_new_merge(Graph& g, obs::FlowScope* fs) {
+cluster::ClusterResult prepare_new_merge(Graph& g, obs::FlowScope* fs,
+                                         int threads) {
   auto stage = [&](const char* name) {
     if (fs) fs->begin_stage(name, g.node_count(), g.edge_count());
   };
   auto done = [&] {
     if (fs) fs->end_stage(g.node_count(), g.edge_count());
   };
+  cluster::ClusterOptions copt;
+  copt.threads = threads;
 
   stage("normalize");
   transform::normalize_widths(g);
   done();
   stage("cluster");
-  auto cr = cluster::cluster_maximal(g);
+  auto cr = cluster::cluster_maximal(g, copt);
   done();
   // Feed the rebalanced cluster-output bounds (Section 5.2) back into the
   // width transformations: a tighter bound can shrink the cluster root (and
@@ -138,7 +141,7 @@ cluster::ClusterResult prepare_new_merge(Graph& g, obs::FlowScope* fs) {
     done();
     if (!stats.changed()) break;
     stage("cluster");
-    auto next = cluster::cluster_maximal(g);
+    auto next = cluster::cluster_maximal(g, copt);
     done();
     // Carry earlier refinements forward (they remain valid claims).
     for (std::size_t i = 0; i < cr.refinements.size(); ++i) {
@@ -209,7 +212,7 @@ FlowResult run_flow(const Graph& g, Flow flow, const SynthOptions& opt) {
         fs.end_stage(res.graph.node_count(), res.graph.edge_count());
         break;
       case Flow::NewMerge: {
-        auto cr = prepare_new_merge(res.graph, &fs);
+        auto cr = prepare_new_merge(res.graph, &fs, opt.threads);
         res.partition = std::move(cr.partition);
         res.cluster_iterations = cr.iterations;
         res.report.cluster_iterations = cr.iterations;

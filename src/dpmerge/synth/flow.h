@@ -25,6 +25,10 @@ struct SynthOptions {
   /// Radix-4 Booth recoding for multiplier partial products (about half the
   /// CSA rows per product).
   bool booth_multipliers = false;
+  /// Parallel width for the clustering stages (ClusterOptions::threads):
+  /// 1 = serial, 0 = one thread per core, n = at most n. Any setting yields
+  /// bit-identical netlists and DecisionLogs (DESIGN.md §11).
+  int threads = 1;
 };
 
 struct FlowResult {
@@ -53,9 +57,11 @@ FlowResult run_flow(const dfg::Graph& g, Flow flow,
 /// maximal clustering, with the Huffman refinements fed back into further
 /// width pruning until a fixpoint (mutates `g`). Returns the final
 /// clustering. When `fs` is given, the normalisation and clustering rounds
-/// are reported as "normalize"/"cluster" stages.
+/// are reported as "normalize"/"cluster" stages. `threads` is forwarded to
+/// ClusterOptions::threads (bit-identical results at any width).
 cluster::ClusterResult prepare_new_merge(dfg::Graph& g,
-                                         obs::FlowScope* fs = nullptr);
+                                         obs::FlowScope* fs = nullptr,
+                                         int threads = 1);
 
 /// Fills a FlowReport's structural roll-ups from a finished flow: merge
 /// decisions (arithmetic operators absorbed into a consumer's cluster),

@@ -40,7 +40,7 @@ Bindings resolve(const Netlist& net, const Graph& g) {
   for (std::size_t i = 0; i < net.inputs().size(); ++i) {
     bool found = false;
     for (std::size_t k = 0; k < b.g_inputs.size(); ++k) {
-      if (g.node(b.g_inputs[k]).name == net.inputs()[i].name) {
+      if (g.name(b.g_inputs[k]) == net.inputs()[i].name) {
         b.in_of_bus[i] = k;
         found = true;
         break;
@@ -54,7 +54,7 @@ Bindings resolve(const Netlist& net, const Graph& g) {
 
   b.bus_of_out.assign(b.g_outputs.size(), -1);
   for (std::size_t j = 0; j < b.g_outputs.size(); ++j) {
-    const std::string& name = g.node(b.g_outputs[j]).name;
+    const std::string& name = g.name(b.g_outputs[j]);
     for (std::size_t i = 0; i < net.outputs().size(); ++i) {
       if (net.outputs()[i].name == name) {
         b.bus_of_out[j] = static_cast<int>(i);
@@ -70,7 +70,7 @@ void fill_mismatch(const Graph& g, const Bindings& bind, std::size_t out_idx,
                    std::string* why) {
   if (!why) return;
   std::ostringstream os;
-  os << "output '" << g.node(bind.g_outputs[out_idx]).name
+  os << "output '" << g.name(bind.g_outputs[out_idx])
      << "': dfg=" << expect.to_string() << " netlist="
      << (got ? got->to_string() : std::string("<missing>"));
   *why = os.str();

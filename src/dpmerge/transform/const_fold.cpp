@@ -40,7 +40,7 @@ bool all_ones(const BitVector& v) {
 /// design interface).
 Graph eliminate_dead(const Graph& g) {
   std::vector<bool> live(static_cast<std::size_t>(g.node_count()), false);
-  const auto order = g.topo_order();
+  const auto& order = g.freeze().topo;
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const Node& n = g.node(*it);
     bool l = n.kind == OpKind::Output || n.kind == OpKind::Input;
@@ -51,12 +51,12 @@ Graph eliminate_dead(const Graph& g) {
   }
   Graph ng;
   std::vector<NodeId> map(static_cast<std::size_t>(g.node_count()), NodeId{});
-  for (NodeId id : g.topo_order()) {
+  for (NodeId id : g.freeze().topo) {
     const Node& n = g.node(id);
     if (!live[static_cast<std::size_t>(id.value)]) continue;
     const NodeId nn = n.kind == OpKind::Const
-                          ? ng.add_const(n.value, n.name)
-                          : ng.add_node(n.kind, n.width, n.name);
+                          ? ng.add_const(n.value, g.name(n))
+                          : ng.add_node(n.kind, n.width, g.name(n));
     ng.set_node_ext_sign(nn, n.ext_sign);
     ng.set_node_shift(nn, n.shift);
     for (std::size_t p = 0; p < n.in.size(); ++p) {
@@ -82,7 +82,7 @@ Graph fold_constants(const Graph& g, FoldStats* stats) {
 
   FoldStats local;
 
-  for (NodeId id : g.topo_order()) {
+  for (NodeId id : g.freeze().topo) {
     const Node& n = g.node(id);
     auto& slot = map[static_cast<std::size_t>(id.value)];
 
@@ -122,8 +122,8 @@ Graph fold_constants(const Graph& g, FoldStats* stats) {
     };
     auto clone = [&] {
       const NodeId nn = n.kind == OpKind::Const
-                            ? ng.add_const(n.value, n.name)
-                            : ng.add_node(n.kind, n.width, n.name);
+                            ? ng.add_const(n.value, g.name(n))
+                            : ng.add_node(n.kind, n.width, g.name(n));
       ng.set_node_ext_sign(nn, n.ext_sign);
       ng.set_node_shift(nn, n.shift);
       for (std::size_t p = 0; p < n.in.size(); ++p) {

@@ -39,7 +39,7 @@ Graph share_common_subexpressions(const Graph& g, CseStats* stats) {
   std::map<std::string, NodeId> const_seen;  // value string -> node
   CseStats local;
 
-  for (NodeId id : g.topo_order()) {
+  for (NodeId id : g.freeze().topo) {
     const Node& n = g.node(id);
     auto& slot = map[static_cast<std::size_t>(id.value)];
 
@@ -51,7 +51,7 @@ Graph share_common_subexpressions(const Graph& g, CseStats* stats) {
         slot = it->second;
         ++local.nodes_merged;
       } else {
-        slot = ng.add_const(n.value, n.name);
+        slot = ng.add_const(n.value, g.name(n));
         const_seen.emplace(key, slot);
       }
       continue;
@@ -79,7 +79,7 @@ Graph share_common_subexpressions(const Graph& g, CseStats* stats) {
         continue;
       }
     }
-    const NodeId nn = ng.add_node(n.kind, n.width, n.name);
+    const NodeId nn = ng.add_node(n.kind, n.width, g.name(n));
     ng.set_node_ext_sign(nn, n.ext_sign);
     ng.set_node_shift(nn, n.shift);
     // Commutative operand normalisation must also reorder the edges.

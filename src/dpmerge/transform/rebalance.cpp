@@ -24,7 +24,7 @@ using dfg::OpKind;
 int arith_depth(const Graph& g) {
   std::vector<int> depth(static_cast<std::size_t>(g.node_count()), 0);
   int best = 0;
-  for (NodeId id : g.topo_order()) {
+  for (NodeId id : g.freeze().topo) {
     const Node& n = g.node(id);
     int d = 0;
     for (EdgeId eid : n.in) {
@@ -84,23 +84,23 @@ Graph rebalance_clusters(const Graph& g, RebalanceStats* stats) {
   // input/const interface order matches the original exactly.
   for (const Node& n : g.nodes()) {
     if (n.kind == OpKind::Input) {
-      const NodeId nn = ng.add_node(OpKind::Input, n.width, n.name);
+      const NodeId nn = ng.add_node(OpKind::Input, n.width, g.name(n));
       ng.set_node_ext_sign(nn, n.ext_sign);
       map[static_cast<std::size_t>(n.id.value)] = nn;
     } else if (n.kind == OpKind::Const) {
-      map[static_cast<std::size_t>(n.id.value)] = ng.add_const(n.value, n.name);
+      map[static_cast<std::size_t>(n.id.value)] = ng.add_const(n.value, g.name(n));
     }
   }
 
-  for (NodeId id : g.topo_order()) {
+  for (NodeId id : g.freeze().topo) {
     const Node& n = g.node(id);
     auto& slot = map[static_cast<std::size_t>(id.value)];
     if (slot.valid()) continue;  // inputs/consts already cloned
     if (!dfg::is_arith_operator(n.kind)) {
       // Inputs, consts, outputs, extensions, comparators: clone verbatim.
       const NodeId nn = n.kind == OpKind::Const
-                            ? ng.add_const(n.value, n.name)
-                            : ng.add_node(n.kind, n.width, n.name);
+                            ? ng.add_const(n.value, g.name(n))
+                            : ng.add_node(n.kind, n.width, g.name(n));
       ng.set_node_ext_sign(nn, n.ext_sign);
       clone_edges(n, nn);
       slot = nn;

@@ -76,7 +76,9 @@ PruneStats prune_info_content(Graph& g,
     out_claim[static_cast<std::size_t>(id.value)] = ic;
   };
 
-  const auto order = g.topo_order();
+  // Snapshot (copy) the frozen order: the loop below inserts Extension
+  // nodes, which invalidates the CSR cache mid-iteration.
+  const std::vector<NodeId> order = g.freeze().topo;
   for (NodeId id : order) {
     const OpKind kind = g.node(id).kind;
 

@@ -64,9 +64,9 @@ TEST(Designs, D4MatchesDirectSum) {
   for (dfg::NodeId id : g.inputs()) {
     const auto& n = g.node(id);
     stim.push_back(BitVector::from_int(n.width, v));
-    const bool negated = n.name[0] == 'x' &&
-                         std::stoi(n.name.substr(1)) >= 4;
-    const bool neg_y = n.name == "y4";
+    const std::string& name = g.name(n);
+    const bool negated = name[0] == 'x' && std::stoi(name.substr(1)) >= 4;
+    const bool neg_y = name == "y4";
     expect += (negated || neg_y) ? -v : v;
     v = v == 7 ? -8 : v + 1;
   }

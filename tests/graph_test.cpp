@@ -30,7 +30,7 @@ TEST(Graph, BuilderWiresPortsAndWidths) {
   const auto outs = g.outputs();
   ASSERT_EQ(outs.size(), 1u);
   const Node& r = g.node(outs[0]);
-  EXPECT_EQ(r.name, "r");
+  EXPECT_EQ(g.name(r), "r");
   ASSERT_EQ(r.in.size(), 1u);
   const Edge& e = g.edge(r.in[0]);
   EXPECT_EQ(e.width, 9);  // width 0 defaulted to the source node's width

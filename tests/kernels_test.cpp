@@ -27,13 +27,13 @@ std::map<std::string, std::int64_t> run_named(
   std::vector<BitVector> stim;
   for (dfg::NodeId id : g.inputs()) {
     stim.push_back(
-        BitVector::from_int(g.node(id).width, in.at(g.node(id).name)));
+        BitVector::from_int(g.node(id).width, in.at(g.name(id))));
   }
   const auto outs = ev.run_outputs(stim);
   std::map<std::string, std::int64_t> r;
   const auto oids = g.outputs();
   for (std::size_t i = 0; i < oids.size(); ++i) {
-    r[g.node(oids[i]).name] = outs[i].to_int64();
+    r[g.name(oids[i])] = outs[i].to_int64();
   }
   return r;
 }

@@ -1,0 +1,174 @@
+// The bit-identical determinism contract of parallel clustering
+// (DESIGN.md §11): cluster_maximal with threads > 1 must reproduce the
+// serial run exactly — partitions, iteration trajectories, refinements,
+// DecisionLogs (byte-for-byte JSON) and stat counters — and the full
+// new-merge flow must emit byte-identical netlists. Swept over hundreds of
+// random DFGs, the D1-D5 paper testcases, and scale-generator designs big
+// enough to exercise the chunked break sweep (> 1024 nodes per chunk).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dpmerge/cluster/clusterer.h"
+#include "dpmerge/designs/scale.h"
+#include "dpmerge/designs/testcases.h"
+#include "dpmerge/dfg/random_graph.h"
+#include "dpmerge/netlist/verilog.h"
+#include "dpmerge/obs/obs.h"
+#include "dpmerge/obs/provenance.h"
+#include "dpmerge/support/rng.h"
+#include "dpmerge/support/thread_pool.h"
+#include "dpmerge/synth/flow.h"
+#include "dpmerge/transform/width_prune.h"
+
+namespace dpmerge {
+namespace {
+
+using cluster::ClusterOptions;
+using cluster::ClusterResult;
+using dfg::Graph;
+
+// Give the shared pool real workers even on single-core CI boxes, so the
+// parallel paths genuinely run multi-threaded (the pool is sized at first
+// use; this runs before main()).
+const bool kForcePool = [] {
+  support::ThreadPool::set_shared_threads(4);
+  return true;
+}();
+
+struct Run {
+  ClusterResult result;
+  std::string decisions_json;
+  std::string stats_json;
+};
+
+Run run_clusterer(const Graph& g, int threads) {
+  Run r;
+  obs::prov::DecisionLog log;
+  obs::StatSink sink;
+  {
+    obs::prov::DecisionScope ds(&log);
+    obs::StatScope ss(&sink);
+    ClusterOptions opt;
+    opt.threads = threads;
+    r.result = cluster::cluster_maximal(g, opt);
+  }
+  log.to_json(r.decisions_json);
+  for (const auto& [k, v] : sink.values()) {
+    r.stats_json += k + "=" + std::to_string(v) + "\n";
+  }
+  return r;
+}
+
+void expect_identical(const Graph& g, const char* what) {
+  const Run serial = run_clusterer(g, 1);
+  const Run parallel = run_clusterer(g, 4);
+
+  ASSERT_EQ(serial.result.partition.num_clusters(),
+            parallel.result.partition.num_clusters())
+      << what;
+  EXPECT_EQ(serial.result.partition.cluster_of,
+            parallel.result.partition.cluster_of)
+      << what;
+  for (int ci = 0; ci < serial.result.partition.num_clusters(); ++ci) {
+    const auto& cs =
+        serial.result.partition.clusters[static_cast<std::size_t>(ci)];
+    const auto& cp =
+        parallel.result.partition.clusters[static_cast<std::size_t>(ci)];
+    EXPECT_EQ(cs.root, cp.root) << what;
+    EXPECT_EQ(cs.nodes, cp.nodes) << what;
+    EXPECT_EQ(cs.input_edges, cp.input_edges) << what;
+  }
+  EXPECT_EQ(serial.result.iterations, parallel.result.iterations) << what;
+  ASSERT_EQ(serial.result.per_iteration.size(),
+            parallel.result.per_iteration.size())
+      << what;
+  for (std::size_t i = 0; i < serial.result.per_iteration.size(); ++i) {
+    EXPECT_EQ(serial.result.per_iteration[i].clusters,
+              parallel.result.per_iteration[i].clusters)
+        << what;
+    EXPECT_EQ(serial.result.per_iteration[i].refined_roots,
+              parallel.result.per_iteration[i].refined_roots)
+        << what;
+  }
+  ASSERT_EQ(serial.result.refinements.size(),
+            parallel.result.refinements.size())
+      << what;
+  for (std::size_t i = 0; i < serial.result.refinements.size(); ++i) {
+    const auto& a = serial.result.refinements[i];
+    const auto& b = parallel.result.refinements[i];
+    ASSERT_EQ(a.has_value(), b.has_value()) << what << " node " << i;
+    if (a) {
+      EXPECT_EQ(a->width, b->width) << what << " node " << i;
+      EXPECT_EQ(a->sign, b->sign) << what << " node " << i;
+    }
+  }
+  EXPECT_EQ(serial.decisions_json, parallel.decisions_json) << what;
+  EXPECT_EQ(serial.stats_json, parallel.stats_json) << what;
+}
+
+TEST(ParallelClusterTest, RandomGraphSweepBitIdentical) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed);
+    dfg::RandomGraphOptions opt;
+    opt.num_operators = 10 + static_cast<int>(seed % 50);
+    Graph g = dfg::random_graph(rng, opt);
+    transform::normalize_widths(g);
+    expect_identical(g, ("seed " + std::to_string(seed)).c_str());
+  }
+}
+
+TEST(ParallelClusterTest, PaperTestcasesBitIdentical) {
+  for (const auto& tc : designs::all_testcases()) {
+    Graph g = tc.graph;
+    transform::normalize_widths(g);
+    expect_identical(g, tc.name.c_str());
+  }
+}
+
+TEST(ParallelClusterTest, LargeDesignsExerciseChunkedSweep) {
+  // > 1024 arithmetic nodes so the chunk-parallel break sweep really runs
+  // multiple chunks; layered networks also give many dataflow levels.
+  Graph lay = designs::layered_network(60, 60, 16, /*seed=*/11);
+  transform::normalize_widths(lay);
+  expect_identical(lay, "layered_3600");
+
+  Graph mm = designs::matmul(12, 12);
+  transform::normalize_widths(mm);
+  expect_identical(mm, "matmul_12");
+}
+
+TEST(ParallelClusterTest, FullFlowNetlistsByteIdentical) {
+  for (const auto& tc : designs::all_testcases()) {
+    synth::SynthOptions so_serial;
+    so_serial.threads = 1;
+    synth::SynthOptions so_par;
+    so_par.threads = 4;
+    auto rs = synth::run_flow(tc.graph, synth::Flow::NewMerge, so_serial);
+    auto rp = synth::run_flow(tc.graph, synth::Flow::NewMerge, so_par);
+    EXPECT_EQ(netlist::to_verilog(rs.net, tc.name),
+              netlist::to_verilog(rp.net, tc.name))
+        << tc.name;
+    std::string js, jp;
+    rs.decisions.to_json(js);
+    rp.decisions.to_json(jp);
+    EXPECT_EQ(js, jp) << tc.name;
+    EXPECT_EQ(rs.partition.cluster_of, rp.partition.cluster_of) << tc.name;
+  }
+}
+
+TEST(ParallelClusterTest, ThreadsZeroMeansAuto) {
+  Rng rng(42);
+  Graph g = dfg::random_graph(rng);
+  transform::normalize_widths(g);
+  ClusterOptions serial;
+  ClusterOptions autow;
+  autow.threads = 0;
+  const auto rs = cluster::cluster_maximal(g, serial);
+  const auto ra = cluster::cluster_maximal(g, autow);
+  EXPECT_EQ(rs.partition.cluster_of, ra.partition.cluster_of);
+}
+
+}  // namespace
+}  // namespace dpmerge

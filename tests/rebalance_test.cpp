@@ -49,7 +49,7 @@ TEST(Rebalance, PreservesInterface) {
   EXPECT_EQ(r.inputs().size(), g.inputs().size());
   EXPECT_EQ(r.outputs().size(), g.outputs().size());
   for (std::size_t i = 0; i < g.inputs().size(); ++i) {
-    EXPECT_EQ(r.node(r.inputs()[i]).name, g.node(g.inputs()[i]).name);
+    EXPECT_EQ(r.name(r.inputs()[i]), g.name(g.inputs()[i]));
     EXPECT_EQ(r.node(r.inputs()[i]).width, g.node(g.inputs()[i]).width);
   }
 }

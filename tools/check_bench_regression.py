@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
 """Compare BENCH_<name>.json trajectory artifacts against checked-in baselines.
 
-Usage: check_bench_regression.py [--threshold PCT] CURRENT BASELINE [CURRENT BASELINE ...]
+Usage: check_bench_regression.py [--threshold PCT] [--metrics M,M] \
+           CURRENT BASELINE [CURRENT BASELINE ...]
 
 Each pair is compared cell-by-cell on the (design, flow) key. A cell fails
-when its delay or area exceeds the baseline by more than the threshold
-(default 10%). wall_ms is informational only and never compared. Cells
+when one of the gated metrics (default: delay, area) exceeds the baseline
+by more than the threshold (default 10%). The scale bench is gated on
+--metrics cpa_count instead: wall-clock and RSS vary with the runner, but
+the cluster structure of a deterministic flow must not drift. wall_ms and
+rss_mb are informational only and never compared. Cells
 present in the baseline but missing from the current run fail too (a bench
 that silently drops a design must not pass); *new* cells in the current run
 are allowed (the baseline is refreshed when designs are added).
@@ -35,7 +39,7 @@ def load_cells(path):
     return doc.get("bench", "?"), cells
 
 
-def compare(current_path, baseline_path, threshold):
+def compare(current_path, baseline_path, threshold, metrics):
     bench, current = load_cells(current_path)
     _, baseline = load_cells(baseline_path)
     failures = []
@@ -44,7 +48,7 @@ def compare(current_path, baseline_path, threshold):
         if cur is None:
             failures.append(f"{bench} {key}: missing from current run")
             continue
-        for metric in ("delay", "area"):
+        for metric in metrics:
             b, c = base.get(metric, 0.0), cur.get(metric, 0.0)
             limit = b * (1.0 + threshold / 100.0)
             if b > 0 and c > limit:
@@ -61,16 +65,22 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--threshold", type=float, default=10.0,
                     help="allowed regression in percent (default 10)")
+    ap.add_argument("--metrics", default="delay,area",
+                    help="comma-separated cell metrics to gate "
+                         "(default: delay,area)")
     ap.add_argument("files", nargs="+", metavar="CURRENT BASELINE",
                     help="alternating current/baseline json paths")
     args = ap.parse_args()
     if len(args.files) % 2 != 0:
         ap.error("expected CURRENT BASELINE pairs")
+    metrics = [m for m in args.metrics.split(",") if m]
+    if not metrics:
+        ap.error("--metrics needs at least one metric name")
 
     any_failures = False
     for i in range(0, len(args.files), 2):
         bench, failures, extra, n = compare(args.files[i], args.files[i + 1],
-                                            args.threshold)
+                                            args.threshold, metrics)
         for f in failures:
             print(f"FAIL: {f}")
         if failures:

@@ -22,6 +22,10 @@
 //                            build emits byte-identical netlists)
 //   --seed <n>               recorded in the JSON artifact (the flows are
 //                            deterministic; the seed only tags the output)
+//   --threads <n>            parallel width for the clustering stages
+//                            (1 = serial default, 0 = one thread per core);
+//                            ledgers and netlists are bit-identical at any
+//                            setting (DESIGN.md §11)
 //   -q                       suppress the human-readable reports
 //
 // Exit status: 0 ok, 1 a flow failed or attribution did not reconcile, 2
@@ -32,6 +36,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -44,6 +49,7 @@
 #include "dpmerge/netlist/verilog.h"
 #include "dpmerge/obs/json.h"
 #include "dpmerge/obs/stats.h"
+#include "dpmerge/support/thread_pool.h"
 #include "dpmerge/synth/explain.h"
 
 namespace {
@@ -69,6 +75,7 @@ int main(int argc, char** argv) {
   bool want[3] = {true, true, true};  // indexed by synth::Flow
   std::string json_path, dot_prefix, verilog_prefix;
   std::uint64_t seed = 0;
+  int threads = 1;
   bool quiet = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
@@ -96,13 +103,21 @@ int main(int argc, char** argv) {
       verilog_prefix = argv[++i];
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      char* end = nullptr;
+      const char* val = argv[++i];
+      threads = static_cast<int>(std::strtol(val, &end, 10));
+      if (end == val || *end != '\0' || threads < 0) {
+        std::fprintf(stderr, "dpmerge-explain: bad --threads '%s'\n", val);
+        return 2;
+      }
     } else if (arg == "-q") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: dpmerge-explain [--flow=new|old|none|all] [--json <path|->] "
-          "[--dot <prefix>] [--verilog <prefix>] [--seed <n>] [-q] "
-          "<file>...\n");
+          "[--dot <prefix>] [--verilog <prefix>] [--seed <n>] "
+          "[--threads <n>] [-q] <file>...\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "dpmerge-explain: unknown option '%s'\n",
@@ -125,6 +140,10 @@ int main(int argc, char** argv) {
     if (verilog_prefix.empty()) return 1;
     quiet = true;  // ledgers would be all-untagged noise
   }
+
+  support::ThreadPool::set_shared_threads(threads);
+  synth::SynthOptions sopt;
+  sopt.threads = threads;
 
   const netlist::CellLibrary& lib = netlist::CellLibrary::tsmc025();
   std::string json = "{\"tool\":\"dpmerge-explain\",\"seed\":" +
@@ -178,7 +197,7 @@ int main(int argc, char** argv) {
       if (!want[f]) continue;
       try {
         runs[f] =
-            synth::explain_flow(graph, static_cast<synth::Flow>(f), lib);
+            synth::explain_flow(graph, static_cast<synth::Flow>(f), lib, sopt);
         runs[f].result.report.design = design;
         runs[f].ledger.design = design;
         have[f] = true;

@@ -16,11 +16,15 @@
 //                             break rule fired at each operator, with the
 //                             info-content/required-precision evidence)
 //   --json                    machine-readable report per file
+//   --threads=<n>             parallel width for the analysis/cluster stages
+//                             (1 = serial default, 0 = one thread per core);
+//                             results are bit-identical at any setting
 //   -q                        suppress per-file OK lines
 //
 // Exit status: 0 all clean, 1 findings (errors or warnings), 2 usage/IO.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -32,6 +36,7 @@
 #include "dpmerge/dfg/io.h"
 #include "dpmerge/frontend/parser.h"
 #include "dpmerge/obs/json.h"
+#include "dpmerge/support/thread_pool.h"
 #include "dpmerge/synth/flow.h"
 
 namespace {
@@ -48,6 +53,7 @@ int main(int argc, char** argv) {
 
   check::CheckPolicy policy = check::CheckPolicy::Paranoid;
   bool run_flows = false, explain_rejects = false, json = false, quiet = false;
+  int threads = 1;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -65,12 +71,20 @@ int main(int argc, char** argv) {
       explain_rejects = true;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      char* end = nullptr;
+      threads = static_cast<int>(std::strtol(arg.c_str() + 10, &end, 10));
+      if (end == arg.c_str() + 10 || *end != '\0' || threads < 0) {
+        std::fprintf(stderr, "dpmerge-lint: bad --threads '%s'\n",
+                     arg.c_str() + 10);
+        return 2;
+      }
     } else if (arg == "-q") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: dpmerge-lint [--policy=errors|paranoid] [--flow] "
-          "[--explain-rejects] [--json] [-q] <file>...\n");
+          "[--explain-rejects] [--json] [--threads=<n>] [-q] <file>...\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "dpmerge-lint: unknown option '%s'\n", arg.c_str());
@@ -83,6 +97,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "dpmerge-lint: no input files (try --help)\n");
     return 2;
   }
+  support::ThreadPool::set_shared_threads(threads);
+  synth::SynthOptions sopt;
+  sopt.threads = threads;
 
   int findings = 0;
   for (const std::string& path : files) {
@@ -116,14 +133,14 @@ int main(int argc, char** argv) {
     if (have_graph) {
       rep.merge(check::verify(graph));
       if (rep.ok() && policy == check::CheckPolicy::Paranoid) {
-        const auto ia = analysis::compute_info_content(graph);
-        const auto rp = analysis::compute_required_precision(graph);
+        const auto ia = analysis::compute_info_content(graph, {}, threads);
+        const auto rp = analysis::compute_required_precision(graph, threads);
         rep.merge(check::lint_info_content(graph, ia));
         rep.merge(check::lint_required_precision(graph, rp));
       }
       if (rep.ok() && explain_rejects) {
         try {
-          const auto res = synth::run_flow(graph, synth::Flow::NewMerge);
+          const auto res = synth::run_flow(graph, synth::Flow::NewMerge, sopt);
           if (res.report.merge_decisions == 0) {
             if (!dpmerge::obs::compiled_in()) {
               std::printf(
@@ -154,7 +171,7 @@ int main(int argc, char** argv) {
         for (const auto flow : {synth::Flow::NoMerge, synth::Flow::OldMerge,
                                 synth::Flow::NewMerge}) {
           try {
-            const auto res = synth::run_flow(graph, flow);
+            const auto res = synth::run_flow(graph, flow, sopt);
             // Warnings off: synthesized netlists legitimately contain unread
             // helper gates (unused carry tails, comparator internals).
             check::NetVerifyOptions nopts;
