@@ -174,7 +174,16 @@ inline void write_bench_json(std::ostream& os, std::string_view bench_name,
                              bool zero_wall) {
   std::string out = "{\"bench\":";
   obs::json_append_quoted(out, bench_name);
-  out += ",\"schema\":\"dpmerge-bench-v1\",\"cells\":[";
+  out += ",\"schema\":\"dpmerge-bench-v1\"";
+#ifdef DPMERGE_SANITIZER_BUILD
+  // Tagged so tools/check_bench_regression.py skips timing comparisons:
+  // sanitizer instrumentation distorts wall/delay-independent metrics never,
+  // but a sanitized artifact must not overwrite or gate against clean
+  // baselines.
+  out += ",\"sanitizer\":";
+  obs::json_append_quoted(out, DPMERGE_SANITIZER_BUILD);
+#endif
+  out += ",\"cells\":[";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const BenchCell& c = cells[i];
     out += i ? ",\n" : "\n";

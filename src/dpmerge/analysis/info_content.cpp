@@ -4,6 +4,7 @@
 #include <span>
 
 #include "dpmerge/obs/obs.h"
+#include "dpmerge/support/access_audit.h"
 #include "dpmerge/support/thread_pool.h"
 
 namespace dpmerge::analysis {
@@ -140,6 +141,8 @@ InfoAnalysis compute_info_content(const Graph& g,
     auto operand_ic = [&](int port) {
       const EdgeId eid{ins[static_cast<std::size_t>(port)]};
       const Edge& e = g.edge(eid);
+      support::audit::audit_read(support::audit::Domain::IcNode, e.src.value);
+      support::audit::audit_write(support::audit::Domain::IcEdge, eid.value);
       const InfoContent src_ic =
           ia.at_output_port[static_cast<std::size_t>(e.src.value)];
       const int src_w = g.node(e.src).width;
@@ -191,6 +194,7 @@ InfoAnalysis compute_info_content(const Graph& g,
         break;
     }
     intrinsic = refined(id, intrinsic);
+    support::audit::audit_write(support::audit::Domain::IcNode, id.value);
     ia.intrinsic[idx] = intrinsic;
     ia.at_output_port[idx] = ic_clip(intrinsic, n.width);
   };
@@ -200,6 +204,7 @@ InfoAnalysis compute_info_content(const Graph& g,
     return ia;
   }
   auto& pool = support::ThreadPool::shared();
+  support::audit::JobLabel job_label("ic.level_sweep");
   for (int l = 0; l < c.num_levels(); ++l) {
     const std::span<const NodeId> lv = c.level_span(l);
     pool.parallel_for_chunks(

@@ -4,6 +4,7 @@
 #include <span>
 
 #include "dpmerge/obs/obs.h"
+#include "dpmerge/support/access_audit.h"
 #include "dpmerge/support/thread_pool.h"
 
 namespace dpmerge::analysis {
@@ -27,6 +28,7 @@ RequiredPrecision compute_required_precision(const Graph& g, int threads) {
   auto visit = [&](NodeId id) {
     const Node& n = g.node(id);
     const auto idx = static_cast<std::size_t>(n.id.value);
+    support::audit::audit_write(support::audit::Domain::RpNode, n.id.value);
     if (n.kind == OpKind::Output) {
       // Base case of Definition 4.1: r(input port of an output node) = w(N).
       rp.at_input_port[idx] = n.width;
@@ -37,6 +39,7 @@ RequiredPrecision compute_required_precision(const Graph& g, int threads) {
     int r_out = 0;
     for (std::int32_t eid : c.out(id)) {
       const dfg::Edge& e = g.edge(dfg::EdgeId{eid});
+      support::audit::audit_read(support::audit::Domain::RpNode, e.dst.value);
       r_out = std::max(r_out,
                        std::min(e.width, rp.at_input_port[static_cast<std::size_t>(
                                              e.dst.value)]));
@@ -66,6 +69,7 @@ RequiredPrecision compute_required_precision(const Graph& g, int threads) {
     return rp;
   }
   auto& pool = support::ThreadPool::shared();
+  support::audit::JobLabel job_label("rp.rlevel_sweep");
   for (int l = 0; l < c.num_rlevels(); ++l) {
     const std::span<const NodeId> lv = c.rlevel_span(l);
     pool.parallel_for_chunks(

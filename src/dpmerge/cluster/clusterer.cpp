@@ -6,6 +6,7 @@
 #include "dpmerge/cluster/flatten.h"
 #include "dpmerge/obs/obs.h"
 #include "dpmerge/obs/provenance.h"
+#include "dpmerge/support/access_audit.h"
 #include "dpmerge/support/thread_pool.h"
 
 namespace dpmerge::cluster {
@@ -87,10 +88,12 @@ bool evaluate_break(const Graph& g, const InfoAnalysis& ia,
                     BreakStats& stats) {
   bool b = n.out.empty();
   int reason = b ? 0 : -1;  // index into kBreakReasons
+  support::audit::audit_read(support::audit::Domain::IcNode, n.id.value);
   for (EdgeId eid : n.out) {
     if (b) break;
     const Edge& e = g.edge(eid);
     const Node& dst = g.node(e.dst);
+    support::audit::audit_read(support::audit::Domain::RpNode, e.dst.value);
     int edge_reason = -1;
     int r_in = -1, exact = -1;
     // Safety Condition 1 (+ primary outputs end clusters).
@@ -190,11 +193,14 @@ std::vector<bool> compute_breaks(const Graph& g, const InfoAnalysis& ia,
 
   auto run_chunk = [&](int ci) {
     ChunkOut& co = chunks[static_cast<std::size_t>(ci)];
+    support::audit::audit_write(support::audit::Domain::DecisionBuf, ci);
+    support::audit::audit_write(support::audit::Domain::StatBuf, ci);
     const int lo = ci * kGrain;
     const int hi = std::min(lo + kGrain, n_nodes);
     for (int i = lo; i < hi; ++i) {
       const Node& n = g.node(NodeId{i});
       if (!dfg::is_arith_operator(n.kind)) continue;
+      support::audit::audit_write(support::audit::Domain::BreakVerdict, i);
       verdict[static_cast<std::size_t>(i)] =
           evaluate_break(g, ia, rp, n, plog ? &co.decisions : nullptr,
                          co.stats)
@@ -202,6 +208,7 @@ std::vector<bool> compute_breaks(const Graph& g, const InfoAnalysis& ia,
               : 0;
     }
   };
+  support::audit::JobLabel job_label("cluster.break_sweep");
   if (threads == 1 || num_chunks <= 1) {
     for (int ci = 0; ci < num_chunks; ++ci) run_chunk(ci);
   } else {
@@ -275,9 +282,17 @@ ClusterResult cluster_maximal(const Graph& g, const ClusterOptions& opt) {
     const auto& clusters = res.partition.clusters;
     std::vector<InfoContent> bounds(clusters.size());
     auto eval_bound = [&](int i) {
-      bounds[static_cast<std::size_t>(i)] = rebalanced_cluster_bound(
-          g, clusters[static_cast<std::size_t>(i)], res.info);
+      const auto& cl = clusters[static_cast<std::size_t>(i)];
+      if (support::audit::audit_enabled()) {
+        support::audit::audit_write(support::audit::Domain::ClusterBound, i);
+        for (NodeId m : cl.nodes) {
+          support::audit::audit_read(support::audit::Domain::IcNode, m.value);
+        }
+      }
+      bounds[static_cast<std::size_t>(i)] =
+          rebalanced_cluster_bound(g, cl, res.info);
     };
+    support::audit::JobLabel job_label("cluster.huffman_bounds");
     if (opt.threads == 1) {
       for (int i = 0; i < static_cast<int>(clusters.size()); ++i) {
         eval_bound(i);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dpmerge/obs/trace.h"  // compiled_in()
+#include "dpmerge/support/annotations.h"
 
 /// Decision provenance (dpmerge::obs::prov) — the "why" layer of the flow.
 ///
@@ -72,7 +73,13 @@ struct Decision {
 /// recording order; `final_for_node` resolves a DFG node to its last
 /// node-level verdict — the decision that actually shaped the partition
 /// (earlier iterations' verdicts were superseded by re-partitioning).
-class DecisionLog {
+///
+/// DPMERGE_THREAD_CONFINED: a log belongs to the thread whose DecisionScope
+/// installed it. Parallel sweeps never record into it directly — they fill
+/// per-chunk Decision buffers and the owning thread replays them in index
+/// order (clusterer.cpp's ChunkOut pattern, audited as Domain::DecisionBuf),
+/// which is also what keeps decision ids schedule-independent.
+class DPMERGE_THREAD_CONFINED DecisionLog {
  public:
   /// Stamps `d.id` and the current iteration counter, stores it, returns
   /// the id. Node-level decisions (dst_node < 0) update the final-verdict
@@ -125,6 +132,7 @@ inline DecisionLog*& t_decision_log() {
 
 /// The calling thread's active decision log, or nullptr when no
 /// DecisionScope is live (every recording site is then a TLS load + branch).
+/// The returned pointer is thread-confined — never hand it to pool tasks.
 inline DecisionLog* current_log() {
 #ifdef DPMERGE_OBS_DISABLED
   return nullptr;

@@ -6,11 +6,12 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "dpmerge/obs/trace.h"  // compiled_in()
+#include "dpmerge/support/annotations.h"
+#include "dpmerge/support/mutex.h"
 
 namespace dpmerge::obs {
 
@@ -19,9 +20,12 @@ namespace dpmerge::obs {
 // ---------------------------------------------------------------------------
 
 /// An ordered bag of named int64 counters. Not thread-safe by itself — a
-/// sink belongs to the scope (and thread) that installed it. Names sort
-/// lexicographically, so any export is deterministic.
-class StatSink {
+/// sink is DPMERGE_THREAD_CONFINED: it belongs to the scope (and thread)
+/// that installed it, and parallel sweeps must buffer per-task tallies and
+/// merge them on the owning thread (the break sweep's ChunkOut pattern,
+/// DESIGN.md §12 — checked at runtime by support::audit::AccessAudit).
+/// Names sort lexicographically, so any export is deterministic.
+class DPMERGE_THREAD_CONFINED StatSink {
  public:
   void add(std::string_view name, std::int64_t v = 1) {
     auto it = values_.find(name);
@@ -112,6 +116,14 @@ inline void stat_max(std::string_view name, std::int64_t v) {
 // ---------------------------------------------------------------------------
 
 /// Monotonic counter; add() is one relaxed atomic RMW, safe from any thread.
+///
+/// Memory ordering (DESIGN.md §12): relaxed is sufficient — and audited —
+/// because increments are commutative and no other memory location is
+/// published through a counter value. Reads while writers are live may lag
+/// in-flight increments (each RMW itself is atomic and never lost); every
+/// exporter in the library reads only after its worker threads have
+/// quiesced (ThreadPool jobs complete before parallel_for returns, which
+/// is a mu_ release/acquire edge), so exported totals are exact.
 class Counter {
  public:
   void add(std::int64_t v = 1) { v_.fetch_add(v, std::memory_order_relaxed); }
@@ -125,6 +137,13 @@ class Counter {
 /// Last-written value. Thread-safe, but concurrent writers race by design —
 /// use gauges for configuration-like values (lane counts, sizes), not for
 /// anything that must aggregate deterministically.
+///
+/// Memory ordering: the std::atomic<double> store/load pair is relaxed on
+/// purpose. A gauge publishes one self-contained value; nothing is ordered
+/// "after" a gauge write, so the only guarantee needed is no torn values —
+/// which the atomic provides at any ordering. Concurrent set() calls leave
+/// one of the written values (unspecified which); that is the documented
+/// last-writer-wins contract, not an ordering bug.
 class Gauge {
  public:
   void set(double v) { v_.store(v, std::memory_order_relaxed); }
@@ -139,6 +158,14 @@ class Gauge {
 /// counts samples in [2^(i-1), 2^i) (bucket 0 counts zeros and ones
 /// together with bucket 1's lower bound, i.e. v < 2). Aggregation across
 /// threads is commutative, so totals are schedule-independent.
+///
+/// Memory ordering: every bucket/count/sum RMW is relaxed — each is an
+/// independent commutative accumulator, so the counter argument above
+/// applies field-by-field. What relaxed does NOT give is a cross-field
+/// snapshot: a reader racing observe() can see count already incremented
+/// while sum still lacks the same sample (or vice versa). After writers
+/// quiesce the three always telescope (count() samples summing to sum());
+/// exports happen only then. reset() has the same caveat and is for tests.
 class Histogram {
  public:
   static constexpr int kBuckets = 48;
@@ -170,24 +197,31 @@ class Registry {
  public:
   static Registry& instance();
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  Counter& counter(std::string_view name) DPMERGE_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) DPMERGE_EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name) DPMERGE_EXCLUDES(mu_);
 
   /// `{"counters":{...},"gauges":{...},"histograms":{...}}`, keys sorted.
-  void write_json(std::ostream& os) const;
-  std::string json() const;
+  void write_json(std::ostream& os) const DPMERGE_EXCLUDES(mu_);
+  std::string json() const DPMERGE_EXCLUDES(mu_);
 
   /// Zeroes every registered stat (references stay valid). For tests.
-  void reset();
+  void reset() DPMERGE_EXCLUDES(mu_);
 
  private:
   Registry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// Guards the name->stat maps (registration and export iteration). The
+  /// returned Counter/Gauge/Histogram references are NOT guarded: they are
+  /// stable for the process lifetime (unique_ptr targets never move) and
+  /// internally atomic, so hot sites cache them and update lock-free.
+  mutable support::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      DPMERGE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      DPMERGE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      DPMERGE_GUARDED_BY(mu_);
 };
 
 }  // namespace dpmerge::obs

@@ -55,7 +55,7 @@ Tracer::ThreadBuf& Tracer::local_buf() {
   // after the thread exits.
   thread_local std::shared_ptr<ThreadBuf> buf = [this] {
     auto b = std::make_shared<ThreadBuf>();
-    std::lock_guard<std::mutex> lock(mu_);
+    support::MutexLock lock(mu_);
     b->tid = next_tid_++;
     bufs_.push_back(b);
     return b;
@@ -71,19 +71,19 @@ void Tracer::record(std::string name, std::int64_t ts_us, std::int64_t dur_us,
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  support::MutexLock lock(mu_);
   for (auto& b : bufs_) b->events.clear();
 }
 
 std::size_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  support::MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& b : bufs_) n += b->events.size();
   return n;
 }
 
 void Tracer::write_json(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  support::MutexLock lock(mu_);
   os << "{\"traceEvents\":[";
   bool first = true;
   std::string line;

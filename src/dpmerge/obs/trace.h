@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "dpmerge/support/annotations.h"
+#include "dpmerge/support/mutex.h"
 
 namespace dpmerge::obs {
 
@@ -68,9 +70,9 @@ class Tracer {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Drops all buffered events (buffers of live threads stay registered).
-  void clear();
+  void clear() DPMERGE_EXCLUDES(mu_);
 
-  std::size_t event_count() const;
+  std::size_t event_count() const DPMERGE_EXCLUDES(mu_);
 
   /// Records a complete ("X", dur_us >= 0) or instant ("i") event into the
   /// calling thread's buffer. Call only while `enabled()`.
@@ -79,23 +81,30 @@ class Tracer {
 
   /// Merges every thread's buffer and writes `{"traceEvents": [...]}`.
   /// Call after worker threads have quiesced (joined pool, etc.).
-  void write_json(std::ostream& os) const;
-  std::string json() const;
-  bool write_file(const std::string& path) const;
+  void write_json(std::ostream& os) const DPMERGE_EXCLUDES(mu_);
+  std::string json() const DPMERGE_EXCLUDES(mu_);
+  bool write_file(const std::string& path) const DPMERGE_EXCLUDES(mu_);
 
  private:
+  /// Per-thread event buffer. `events` is DPMERGE_THREAD_CONFINED to the
+  /// owning thread while it records; exporters read it under `mu_` only
+  /// after workers have quiesced (the ThreadPool job-completion handshake
+  /// is the release/acquire edge that publishes the events).
   struct ThreadBuf {
     std::uint32_t tid = 0;
     std::vector<TraceEvent> events;
   };
 
   Tracer() = default;
-  ThreadBuf& local_buf();
+  ThreadBuf& local_buf() DPMERGE_EXCLUDES(mu_);
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;  ///< guards `bufs_` registration and export
-  std::vector<std::shared_ptr<ThreadBuf>> bufs_;
-  std::uint32_t next_tid_ = 1;
+  /// Guards buffer registration (`bufs_`, `next_tid_`) and export/clear
+  /// iteration. The record hot path is lock-free after a thread's first
+  /// event: it appends to its own ThreadBuf through a cached pointer.
+  mutable support::Mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs_ DPMERGE_GUARDED_BY(mu_);
+  std::uint32_t next_tid_ DPMERGE_GUARDED_BY(mu_) = 1;
 };
 
 /// True when span/event recording is live right now. Guard any non-trivial

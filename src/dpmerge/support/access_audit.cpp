@@ -1,0 +1,230 @@
+#include "dpmerge/support/access_audit.h"
+
+#include <algorithm>
+
+namespace dpmerge::support::audit {
+
+namespace {
+
+// Packed access entry. Layout (most-significant first) sorts groups by
+// (domain, id), then task, then read-before-write:
+//   [63:60] domain   [59:28] id (unsigned 32)   [27:1] task   [0] write
+constexpr int kDomainShift = 60;
+constexpr int kIdShift = 28;
+constexpr int kTaskShift = 1;
+constexpr std::uint64_t kTaskMask = (1ULL << 27) - 1;
+
+std::uint64_t pack(Domain d, int id, bool write) {
+  return (static_cast<std::uint64_t>(d) << kDomainShift) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id))
+          << kIdShift) |
+         (write ? 1ULL : 0ULL);
+}
+
+Domain unpack_domain(std::uint64_t e) {
+  return static_cast<Domain>(e >> kDomainShift);
+}
+int unpack_id(std::uint64_t e) {
+  return static_cast<int>(static_cast<std::uint32_t>(e >> kIdShift));
+}
+int unpack_task(std::uint64_t e) {
+  return static_cast<int>((e >> kTaskShift) & kTaskMask);
+}
+bool unpack_write(std::uint64_t e) { return (e & 1ULL) != 0; }
+
+/// Per-thread open-task footprint. `depth` folds nested inline
+/// parallel_for calls into the outermost task (DPMERGE_THREAD_CONFINED:
+/// only the executing thread touches its buffer).
+struct TaskBuf {
+  int task = -1;
+  int depth = 0;
+  std::vector<std::uint64_t> entries;  ///< packed without the task stamp
+};
+
+TaskBuf& t_task() {
+  thread_local TaskBuf buf;
+  return buf;
+}
+
+const char*& t_job_label() {
+  thread_local const char* label = nullptr;
+  return label;
+}
+
+}  // namespace
+
+std::string_view to_string(Domain d) {
+  switch (d) {
+    case Domain::IcNode: return "ic.node";
+    case Domain::IcEdge: return "ic.edge";
+    case Domain::RpNode: return "rp.node";
+    case Domain::BreakVerdict: return "break.verdict";
+    case Domain::ClusterBound: return "cluster.bound";
+    case Domain::DecisionBuf: return "decision.chunk";
+    case Domain::StatBuf: return "stat.chunk";
+    case Domain::Custom: return "custom";
+  }
+  return "?";
+}
+
+std::string Violation::to_text() const {
+  std::string s = job;
+  s += ": ";
+  s += write_write ? "write/write" : "write/read";
+  s += " overlap on ";
+  s += to_string(domain);
+  s += '#';
+  s += std::to_string(id);
+  s += " between tasks ";
+  s += std::to_string(task_a);
+  s += " and ";
+  s += std::to_string(task_b);
+  return s;
+}
+
+AccessAudit& AccessAudit::instance() {
+  static AccessAudit a;
+  return a;
+}
+
+void AccessAudit::begin_job(std::string label) {
+  MutexLock lock(mu_);
+  job_open_ = true;
+  job_label_ = std::move(label);
+  job_accesses_.clear();
+}
+
+void AccessAudit::end_job() {
+  MutexLock lock(mu_);
+  if (!job_open_) return;
+  job_open_ = false;
+  ++jobs_audited_;
+  // Group by (domain, id); flag any resource touched by more than one task
+  // with at least one write. One violation per resource, between the first
+  // writer and the first distinct other task — deterministic because the
+  // sort order is schedule-independent.
+  std::sort(job_accesses_.begin(), job_accesses_.end());
+  job_accesses_.erase(
+      std::unique(job_accesses_.begin(), job_accesses_.end()),
+      job_accesses_.end());
+  const std::size_t n = job_accesses_.size();
+  for (std::size_t b = 0; b < n;) {
+    std::size_t e = b + 1;
+    const std::uint64_t key_bits = job_accesses_[b] >> kIdShift;
+    while (e < n && (job_accesses_[e] >> kIdShift) == key_bits) ++e;
+    int first_writer = -1;
+    for (std::size_t i = b; i < e; ++i) {
+      if (unpack_write(job_accesses_[i])) {
+        first_writer = unpack_task(job_accesses_[i]);
+        break;
+      }
+    }
+    if (first_writer >= 0) {
+      // A writer exists: any access by a different task conflicts.
+      for (std::size_t i = b; i < e; ++i) {
+        const int task = unpack_task(job_accesses_[i]);
+        if (task == first_writer) continue;
+        Violation v;
+        v.job = job_label_;
+        v.domain = unpack_domain(job_accesses_[b]);
+        v.id = unpack_id(job_accesses_[b]);
+        v.task_a = std::min(first_writer, task);
+        v.task_b = std::max(first_writer, task);
+        // write/write dominates if *any* second task writes this key.
+        v.write_write = false;
+        for (std::size_t j = b; j < e; ++j) {
+          if (unpack_write(job_accesses_[j]) &&
+              unpack_task(job_accesses_[j]) != first_writer) {
+            v.write_write = true;
+            v.task_b = unpack_task(job_accesses_[j]);
+            v.task_a = std::min(first_writer, v.task_b);
+            v.task_b = std::max(first_writer, v.task_b);
+            break;
+          }
+        }
+        violations_.push_back(std::move(v));
+        break;
+      }
+    }
+    b = e;
+  }
+  job_accesses_.clear();
+}
+
+void AccessAudit::begin_task(int task) {
+  TaskBuf& b = t_task();
+  if (++b.depth > 1) return;  // nested inline loop: fold into the outer task
+  b.task = task;
+  b.entries.clear();
+}
+
+void AccessAudit::end_task() {
+  TaskBuf& b = t_task();
+  if (--b.depth > 0) return;
+  const int task = b.task;
+  b.task = -1;
+  if (b.entries.empty()) return;
+  std::sort(b.entries.begin(), b.entries.end());
+  b.entries.erase(std::unique(b.entries.begin(), b.entries.end()),
+                  b.entries.end());
+  AccessAudit& a = instance();
+  MutexLock lock(a.mu_);
+  if (!a.job_open_) return;
+  a.accesses_ += static_cast<std::int64_t>(b.entries.size());
+  const std::uint64_t stamp =
+      (static_cast<std::uint64_t>(task) & kTaskMask) << kTaskShift;
+  for (std::uint64_t e : b.entries) a.job_accesses_.push_back(e | stamp);
+}
+
+bool AccessAudit::in_task() { return t_task().depth > 0; }
+
+void AccessAudit::read(Domain d, int id) {
+  TaskBuf& b = t_task();
+  if (b.task < 0) return;
+  b.entries.push_back(pack(d, id, false));
+}
+
+void AccessAudit::write(Domain d, int id) {
+  TaskBuf& b = t_task();
+  if (b.task < 0) return;
+  b.entries.push_back(pack(d, id, true));
+}
+
+std::vector<Violation> AccessAudit::take_violations() {
+  MutexLock lock(mu_);
+  std::vector<Violation> out = std::move(violations_);
+  violations_.clear();
+  return out;
+}
+
+std::int64_t AccessAudit::jobs_audited() const {
+  MutexLock lock(mu_);
+  return jobs_audited_;
+}
+
+std::int64_t AccessAudit::accesses_recorded() const {
+  MutexLock lock(mu_);
+  return accesses_;
+}
+
+void AccessAudit::clear() {
+  MutexLock lock(mu_);
+  job_open_ = false;
+  job_accesses_.clear();
+  violations_.clear();
+  jobs_audited_ = 0;
+  accesses_ = 0;
+}
+
+JobLabel::JobLabel(const char* label) : prev_(t_job_label()) {
+  t_job_label() = label;
+}
+
+JobLabel::~JobLabel() { t_job_label() = prev_; }
+
+const char* JobLabel::current() {
+  const char* l = t_job_label();
+  return l ? l : "parallel_for";
+}
+
+}  // namespace dpmerge::support::audit

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dpmerge/support/annotations.h"
+#include "dpmerge/support/mutex.h"
+
+namespace dpmerge::support::audit {
+
+/// Resource domains the audit tracks. Each (domain, id) pair names one
+/// independently-writable slot of shared state touched by the parallel
+/// sweeps; keeping the domains separate is what lets the checker prove
+/// write disjointness without false conflicts between, say, the break
+/// sweep's verdict writes and its reads of the info-content results.
+enum class Domain : unsigned char {
+  IcNode,       ///< info-content per-node slots (at_output_port/intrinsic)
+  IcEdge,       ///< info-content per-edge slots (at_edge/at_operand)
+  RpNode,       ///< required-precision per-node slots (r_in/r_out)
+  BreakVerdict, ///< break-sweep verdict byte per node
+  ClusterBound, ///< Huffman-rebalanced bound slot per cluster
+  DecisionBuf,  ///< per-chunk Decision buffer (id = chunk index)
+  StatBuf,      ///< per-chunk stat tally buffer (id = chunk index)
+  Custom,       ///< test/tooling-defined resources
+};
+
+std::string_view to_string(Domain d);
+
+/// One detected overlap between the footprints of two concurrent tasks of
+/// the same parallel_for job. `write_write` distinguishes two writers from
+/// a writer racing a reader.
+struct Violation {
+  std::string job;  ///< owning sweep label, e.g. "cluster.break_sweep"
+  Domain domain = Domain::Custom;
+  int id = -1;           ///< resource id within the domain (node/edge/chunk)
+  int task_a = -1;       ///< conflicting task indices within the job
+  int task_b = -1;
+  bool write_write = false;  ///< else write/read
+
+  std::string to_text() const;
+};
+
+/// Debug instrumentation mode of `ThreadPool::parallel_for`
+/// (DESIGN.md §12): while enabled, each task of an audited job records its
+/// read/write footprint over (domain, id) resources, and after the job the
+/// auditor verifies pairwise write/write and read/write disjointness across
+/// tasks — turning the determinism contract ("each fn(i) writes only its
+/// own slots") from a convention into a checked property.
+///
+/// The audit is schedule-independent by construction: footprints are keyed
+/// by *task index*, not thread, and the serial inline fallback records the
+/// same per-index footprints as a genuinely parallel dispatch. A single-
+/// core run therefore proves exactly what a 64-core run would.
+///
+/// Recording is thread-confined (each executing thread appends to its own
+/// open task buffer); buffers are handed to the auditor under `mu_` at
+/// task end. When disabled (the default), every hook is one relaxed atomic
+/// load and a branch.
+class AccessAudit {
+ public:
+  static AccessAudit& instance();
+
+  /// Turns footprint recording on/off process-wide. Enable only around an
+  /// audited region; jobs started while disabled record nothing.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  static bool enabled() {
+    return instance().enabled_.load(std::memory_order_relaxed);
+  }
+
+  // -- Job lifecycle (driven by ThreadPool::parallel_for) -----------------
+  // Jobs never overlap: the pool serialises parallel_for callers on its
+  // job mutex, and nested inline loops fold into the enclosing task.
+
+  /// Opens an audited job. `label` names the owning sweep in reports.
+  void begin_job(std::string label) DPMERGE_EXCLUDES(mu_);
+  /// Closes the job and runs the disjointness check; violations accumulate
+  /// until `take_violations`.
+  void end_job() DPMERGE_EXCLUDES(mu_);
+
+  // -- Task scoping (on the executing thread) -----------------------------
+
+  /// Marks the calling thread as executing task `task` of the open job.
+  /// Nested calls (inline nested parallel_for) fold into the outermost
+  /// task: the inner work really does run within the enclosing task.
+  void begin_task(int task);
+  void end_task() DPMERGE_EXCLUDES(mu_);
+
+  /// Whether the calling thread currently has an open audited task (a
+  /// parallel_for issued from inside one folds in rather than opening a
+  /// nested job).
+  static bool in_task();
+
+  // -- Footprint recording -------------------------------------------------
+
+  /// Records a read/write of (d, id) by the calling thread's open task.
+  /// No-ops (cheaply) when the thread has no open task, so instrumented
+  /// code paths are safe to run serially outside any audited job.
+  static void read(Domain d, int id);
+  static void write(Domain d, int id);
+
+  /// Drains accumulated violations (deterministic order: job sequence,
+  /// then domain, then id).
+  std::vector<Violation> take_violations() DPMERGE_EXCLUDES(mu_);
+
+  /// Jobs audited since the last clear — lets tooling report coverage.
+  std::int64_t jobs_audited() const DPMERGE_EXCLUDES(mu_);
+  std::int64_t accesses_recorded() const DPMERGE_EXCLUDES(mu_);
+
+  void clear() DPMERGE_EXCLUDES(mu_);
+
+ private:
+  AccessAudit() = default;
+
+  std::atomic<bool> enabled_{false};
+
+  mutable Mutex mu_;
+  bool job_open_ DPMERGE_GUARDED_BY(mu_) = false;
+  std::string job_label_ DPMERGE_GUARDED_BY(mu_);
+  /// Flushed task footprints of the open job: (key, task, is_write).
+  /// Key packs (domain, id); see access_audit.cpp.
+  std::vector<std::uint64_t> job_accesses_ DPMERGE_GUARDED_BY(mu_);
+  std::vector<Violation> violations_ DPMERGE_GUARDED_BY(mu_);
+  std::int64_t jobs_audited_ DPMERGE_GUARDED_BY(mu_) = 0;
+  std::int64_t accesses_ DPMERGE_GUARDED_BY(mu_) = 0;
+};
+
+/// Records a read of (d, id) into the calling thread's open audited task.
+/// One relaxed load + branch when auditing is off.
+inline void audit_read(Domain d, int id) {
+  if (AccessAudit::enabled()) AccessAudit::read(d, id);
+}
+inline void audit_write(Domain d, int id) {
+  if (AccessAudit::enabled()) AccessAudit::write(d, id);
+}
+inline bool audit_enabled() { return AccessAudit::enabled(); }
+
+/// RAII label for the parallel_for jobs issued in its scope: the pool
+/// stamps the innermost live label onto each audited job so violations
+/// name the owning sweep. Thread-local; nests.
+class JobLabel {
+ public:
+  explicit JobLabel(const char* label);
+  ~JobLabel();
+  JobLabel(const JobLabel&) = delete;
+  JobLabel& operator=(const JobLabel&) = delete;
+
+  /// The innermost live label on this thread ("parallel_for" if none).
+  static const char* current();
+
+ private:
+  const char* prev_;
+};
+
+}  // namespace dpmerge::support::audit

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "dpmerge/support/annotations.h"
+
+namespace dpmerge::support {
+
+/// std::mutex wrapped as a Clang Thread Safety Analysis capability.
+/// libstdc++'s std::mutex carries no annotations, so locking it is
+/// invisible to -Wthread-safety; this wrapper gives every lock/unlock a
+/// capability effect the analysis can track. Zero overhead: the calls
+/// inline to the std::mutex ones.
+class DPMERGE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DPMERGE_ACQUIRE() { mu_.lock(); }
+  void unlock() DPMERGE_RELEASE() { mu_.unlock(); }
+  bool try_lock() DPMERGE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Runtime no-op asserting to the analysis that this mutex is held.
+  /// For condition-variable predicates, which run under the lock via a
+  /// protocol (CondVar::wait) the analysis cannot follow.
+  void assert_held() DPMERGE_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over Mutex. std::lock_guard/unique_lock are invisible
+/// to the analysis; this is the annotated equivalent of lock_guard.
+class DPMERGE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DPMERGE_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DPMERGE_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to support::Mutex. `wait` requires the caller
+/// to hold the mutex (checked by the analysis) and returns holding it
+/// again; internally it adopts the held lock into a std::unique_lock for
+/// the duration of the wait and releases ownership back on return, so the
+/// native std::condition_variable fast path is kept.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  template <class Pred>
+  void wait(Mutex& mu, Pred pred) DPMERGE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk, std::move(pred));
+    lk.release();  // ownership stays with the caller's capability
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dpmerge::support

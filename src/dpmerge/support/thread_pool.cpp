@@ -1,6 +1,11 @@
 #include "dpmerge/support/thread_pool.h"
 
 #include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "dpmerge/support/access_audit.h"
+#include "dpmerge/support/rng.h"
 
 namespace dpmerge::support {
 
@@ -18,6 +23,13 @@ std::atomic<int>& shared_threads_config() {
   return threads;
 }
 
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(int threads) {
@@ -33,7 +45,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
     ++epoch_;
   }
@@ -41,67 +53,179 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::drain() {
-  if (chunked_) {
-    const int grain = job_grain_;
-    for (int b = next_.fetch_add(grain); b < job_n_;
-         b = next_.fetch_add(grain)) {
-      (*chunk_fn_)(b, std::min(b + grain, job_n_));
+// Reads the job descriptor lock-free. Manual proof (the analysis cannot
+// express a publication protocol): the descriptor is written in open_job
+// under mu_ *before* the epoch increment; a worker enters drain() only
+// after observing the new epoch under mu_, so the mu_ release/acquire pair
+// orders every descriptor read after the writes. The caller thread reads
+// its own writes. job_mu_ holds the descriptor constant until close_job,
+// which first waits for running_ == 0 under mu_ — no worker can still be
+// inside drain() when the descriptor is torn down.
+void ThreadPool::run_one(int pos) DPMERGE_NO_THREAD_SAFETY_ANALYSIS {
+  const int slot =
+      perm_.empty() ? pos : perm_[static_cast<std::size_t>(pos)];
+  if (job_max_spin_ > 0) {
+    // Seeded per-task jitter: perturbs the relative timing of tasks so
+    // different stress seeds explore different interleavings.
+    const std::uint64_t r = splitmix64(
+        job_jitter_seed_ ^ (static_cast<std::uint64_t>(slot) << 17));
+    const int spins =
+        static_cast<int>(r % static_cast<std::uint64_t>(job_max_spin_));
+    for (int s = 0; s < spins; ++s) {
+      if ((s & 63) == 63) std::this_thread::yield();
     }
-  } else {
-    for (int i = next_.fetch_add(1); i < job_n_; i = next_.fetch_add(1)) {
-      (*fn_)(i);
+  }
+  const bool audited = job_audited_;
+  if (audited) audit::AccessAudit::instance().begin_task(slot);
+  try {
+    if (chunked_) {
+      const int lo = slot * job_grain_;
+      const int hi = std::min(lo + job_grain_, job_limit_);
+      (*chunk_fn_)(lo, hi);
+    } else {
+      (*fn_)(slot);
     }
+  } catch (...) {
+    record_job_error(std::current_exception());
+  }
+  if (audited) audit::AccessAudit::instance().end_task();
+}
+
+void ThreadPool::drain() DPMERGE_NO_THREAD_SAFETY_ANALYSIS {
+  // Position dispenser over [0, job_n_): each position maps to one task
+  // (an index, or a chunk id), permuted by run_one under stress. Stops
+  // dispensing once a task has thrown; already-dispensed tasks finish.
+  for (int pos = next_.fetch_add(1); pos < job_n_;
+       pos = next_.fetch_add(1)) {
+    if (job_abort_.load(std::memory_order_relaxed)) break;
+    run_one(pos);
   }
 }
 
-void ThreadPool::worker_loop() {
+// The epoch/participant handshake holds mu_ across loop iterations and
+// releases it only around drain(); the analysis cannot track a lock held
+// across a loop back-edge with a mid-body release, so the proof is manual:
+// every field touched here (stop_, epoch_, job_open_, participants_,
+// running_) is read/written strictly between mu_.lock() and mu_.unlock().
+void ThreadPool::worker_loop() DPMERGE_NO_THREAD_SAFETY_ANALYSIS {
   t_in_pool_work() = true;
   std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lk(mu_);
+  mu_.lock();
   for (;;) {
-    cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
-    if (stop_) return;
+    cv_.wait(mu_, [&] {
+      mu_.assert_held();
+      return stop_ || epoch_ != seen;
+    });
+    if (stop_) break;
     seen = epoch_;
     if (!job_open_ || participants_ >= max_participants_) continue;
     ++participants_;
     ++running_;
-    lk.unlock();
+    mu_.unlock();
     drain();
-    lk.lock();
+    mu_.lock();
     if (--running_ == 0) done_cv_.notify_all();
   }
+  mu_.unlock();
+}
+
+void ThreadPool::record_job_error(std::exception_ptr e) {
+  MutexLock lk(mu_);
+  if (!job_error_) job_error_ = std::move(e);
+  job_abort_.store(true, std::memory_order_relaxed);
+}
+
+bool ThreadPool::open_job(int count, bool chunked, int limit, int grain,
+                          const std::function<void(int)>* fn,
+                          const std::function<void(int, int)>* chunk_fn,
+                          int max_threads) {
+  const bool audited =
+      audit::audit_enabled() && !audit::AccessAudit::in_task();
+  if (audited) {
+    audit::AccessAudit::instance().begin_job(audit::JobLabel::current());
+  }
+  std::vector<int> perm;
+  std::uint64_t jitter_seed = 0;
+  int max_spin = 0;
+  if (stress_.enabled) {
+    perm.resize(static_cast<std::size_t>(count));
+    std::iota(perm.begin(), perm.end(), 0);
+    Rng rng(splitmix64(stress_.seed) ^ job_counter_);
+    std::shuffle(perm.begin(), perm.end(), rng.engine());
+    jitter_seed = splitmix64(stress_.seed ^ (job_counter_ * 0x2545F4914F6CDD1DULL));
+    max_spin = stress_.max_spin;
+  }
+  ++job_counter_;
+
+  MutexLock lk(mu_);
+  job_open_ = true;
+  chunked_ = chunked;
+  job_n_ = count;
+  job_limit_ = limit;
+  job_grain_ = grain;
+  fn_ = fn;
+  chunk_fn_ = chunk_fn;
+  job_audited_ = audited;
+  perm_ = std::move(perm);
+  job_jitter_seed_ = jitter_seed;
+  job_max_spin_ = max_spin;
+  job_error_ = nullptr;
+  job_abort_.store(false, std::memory_order_relaxed);
+  next_.store(0, std::memory_order_relaxed);
+  participants_ = 0;
+  const int def = default_cap_.load();
+  const int cap = max_threads > 0 ? max_threads : (def > 0 ? def : size());
+  max_participants_ = std::min({static_cast<int>(workers_.size()),
+                                std::max(cap - 1, 0), count - 1});
+  ++epoch_;
+  return max_participants_ > 0;
+}
+
+void ThreadPool::close_job() {
+  std::exception_ptr err;
+  bool audited = false;
+  {
+    MutexLock lk(mu_);
+    done_cv_.wait(mu_, [this] {
+      mu_.assert_held();
+      return running_ == 0;
+    });
+    job_open_ = false;
+    audited = job_audited_;
+    job_audited_ = false;
+    err = job_error_;
+    job_error_ = nullptr;
+    perm_.clear();
+  }
+  if (audited) audit::AccessAudit::instance().end_job();
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn,
                               int max_threads) {
   if (n <= 0) return;
-  if (workers_.empty() || n == 1 || max_threads == 1 || t_in_pool_work()) {
+  if (t_in_pool_work()) {
+    // Nested call from inside pool work: run inline on this worker. Audit
+    // hooks (if live) attribute the accesses to the enclosing task, which
+    // is where this work really executes.
     for (int i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::lock_guard<std::mutex> job_lock(job_mu_);
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    job_open_ = true;
-    chunked_ = false;
-    job_n_ = n;
-    next_.store(0, std::memory_order_relaxed);
-    fn_ = &fn;
-    participants_ = 0;
-    const int def = default_cap_.load();
-    const int cap = max_threads > 0 ? max_threads : (def > 0 ? def : size());
-    max_participants_ = std::min({static_cast<int>(workers_.size()),
-                                  std::max(cap - 1, 0), n - 1});
-    ++epoch_;
+  const bool serial = workers_.empty() || n == 1 || max_threads == 1;
+  if (serial && !audit::audit_enabled() &&
+      !stress_on_.load(std::memory_order_relaxed)) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
   }
-  cv_.notify_all();
+  MutexLock job_lock(job_mu_);
+  const bool workers_join =
+      open_job(n, /*chunked=*/false, n, 1, &fn, nullptr,
+               serial ? 1 : max_threads);
+  if (workers_join) cv_.notify_all();
   t_in_pool_work() = true;
   drain();
   t_in_pool_work() = false;
-  std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk, [&] { return running_ == 0; });
-  job_open_ = false;
+  close_job();
 }
 
 void ThreadPool::parallel_for_chunks(int n, int grain,
@@ -109,35 +233,34 @@ void ThreadPool::parallel_for_chunks(int n, int grain,
                                      int max_threads) {
   if (n <= 0) return;
   grain = std::max(grain, 1);
-  if (workers_.empty() || n <= grain || max_threads == 1 ||
-      t_in_pool_work()) {
+  if (t_in_pool_work()) {
     fn(0, n);
     return;
   }
-  std::lock_guard<std::mutex> job_lock(job_mu_);
-  const int chunks = (n + grain - 1) / grain;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    job_open_ = true;
-    chunked_ = true;
-    job_n_ = n;
-    job_grain_ = grain;
-    next_.store(0, std::memory_order_relaxed);
-    chunk_fn_ = &fn;
-    participants_ = 0;
-    const int def = default_cap_.load();
-    const int cap = max_threads > 0 ? max_threads : (def > 0 ? def : size());
-    max_participants_ = std::min({static_cast<int>(workers_.size()),
-                                  std::max(cap - 1, 0), chunks - 1});
-    ++epoch_;
+  const bool serial = workers_.empty() || n <= grain || max_threads == 1;
+  if (serial && !audit::audit_enabled() &&
+      !stress_on_.load(std::memory_order_relaxed)) {
+    fn(0, n);
+    return;
   }
-  cv_.notify_all();
+  const int chunks = (n + grain - 1) / grain;
+  MutexLock job_lock(job_mu_);
+  const bool workers_join =
+      open_job(chunks, /*chunked=*/true, n, grain, nullptr, &fn,
+               serial ? 1 : max_threads);
+  if (workers_join) cv_.notify_all();
   t_in_pool_work() = true;
   drain();
   t_in_pool_work() = false;
-  std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk, [&] { return running_ == 0; });
-  job_open_ = false;
+  close_job();
+}
+
+void ThreadPool::set_stress(const StressOptions& opts) {
+  // job_mu_ serialises against in-flight jobs: the new configuration is
+  // visible from the next job on, never mid-job.
+  MutexLock job_lock(job_mu_);
+  stress_ = opts;
+  stress_on_.store(opts.enabled, std::memory_order_relaxed);
 }
 
 ThreadPool& ThreadPool::shared() {
@@ -146,6 +269,13 @@ ThreadPool& ThreadPool::shared() {
 }
 
 void ThreadPool::set_shared_threads(int threads) {
+  if (t_in_pool_work()) {
+    throw std::logic_error(
+        "ThreadPool::set_shared_threads: called from inside pool work (a "
+        "parallel_for task or a nested inline loop); reconfiguring the "
+        "shared pool would race the very job executing this task — move "
+        "the call outside the parallel region");
+  }
   threads = std::max(threads, 0);
   shared_threads_config().store(threads);
   shared().set_default_cap(threads);

@@ -1,12 +1,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "dpmerge/support/annotations.h"
+#include "dpmerge/support/mutex.h"
 
 namespace dpmerge::support {
 
@@ -22,7 +24,21 @@ namespace dpmerge::support {
 /// of `i` that writes only into its own pre-sized result slot; any
 /// randomness must come from an Rng seeded per index. Every use in this
 /// library follows that rule, which is what makes the parallel clusterer
-/// bit-identical to the serial one.
+/// bit-identical to the serial one — and `audit::AccessAudit` plus the
+/// seeded stress scheduler (`set_stress`) check it instead of trusting it
+/// (DESIGN.md §12).
+///
+/// Exceptions: if a task throws, the job stops dispensing further indices,
+/// every participating thread finishes its current task, and `parallel_for`
+/// rethrows one of the captured exceptions on the calling thread (which one
+/// is unspecified when several tasks throw). Indices not yet dispatched
+/// when the first exception lands do NOT run. The pool stays usable.
+///
+/// Locking discipline (checked by -Wthread-safety on Clang):
+///   `job_mu_` serialises whole `parallel_for` calls — acquired first, held
+///   for a job's entire lifetime. `mu_` guards the worker handshake and the
+///   job descriptor — acquired under `job_mu_` for setup, alone by workers.
+///   Never acquire `job_mu_` while holding `mu_`.
 ///
 /// The calling thread always participates in the loop, so a pool of size 1
 /// (or a machine reporting one core) degrades to a plain serial loop with no
@@ -43,19 +59,42 @@ class ThreadPool {
 
   /// Runs `fn(i)` exactly once for every i in [0, n), using at most
   /// `max_threads` threads (0 = the pool's full width). Blocks until every
-  /// index ran. Safe to call from inside a worker (runs inline).
+  /// index ran (or a task threw; see the exception contract above). Safe to
+  /// call from inside a worker (runs inline).
   void parallel_for(int n, const std::function<void(int)>& fn,
-                    int max_threads = 0);
+                    int max_threads = 0) DPMERGE_EXCLUDES(job_mu_, mu_);
 
   /// Chunked variant: runs `fn(begin, end)` over [0, n) split into chunks of
   /// at most `grain` indices. Lower dispatch overhead for cheap bodies.
   void parallel_for_chunks(int n, int grain,
                            const std::function<void(int, int)>& fn,
-                           int max_threads = 0);
+                           int max_threads = 0) DPMERGE_EXCLUDES(job_mu_, mu_);
 
   /// Caps the width of future `parallel_for`/`parallel_for_chunks` calls
   /// that pass `max_threads == 0` (0 restores the pool's full width).
+  /// Deferred-safe: the cap is read exactly once per job, at job open,
+  /// under the pool mutex — a store racing an in-flight job changes only
+  /// *future* jobs, never the one running.
   void set_default_cap(int cap) { default_cap_.store(cap); }
+
+  /// Seeded stress scheduler (DESIGN.md §12): while enabled, every job
+  /// dispatches its tasks in a seed-derived random order and inserts a
+  /// small seed-derived busy/yield jitter before each task, so repeated
+  /// runs with different seeds explore different interleavings. Applies to
+  /// the serial inline fallback too (tasks run in the permuted order), so
+  /// single-core runs still exercise order-independence. A workload that
+  /// honours the determinism contract produces byte-identical results under
+  /// every seed — which the stress tests and `dpmerge-lint --concurrency`
+  /// assert. Serialises against in-flight jobs; takes effect from the next
+  /// job.
+  struct StressOptions {
+    bool enabled = false;
+    std::uint64_t seed = 0;
+    /// Upper bound on the per-task jitter spin (0 disables jitter but
+    /// keeps the dispatch-order permutation).
+    int max_spin = 256;
+  };
+  void set_stress(const StressOptions& opts) DPMERGE_EXCLUDES(job_mu_, mu_);
 
   /// The process-wide pool, created on first use with the
   /// `set_shared_threads` width (0 = hardware concurrency at creation time).
@@ -65,35 +104,74 @@ class ThreadPool {
   /// default cap applied to later `parallel_for` calls on it (a CLI
   /// `--threads N` lands here; 0 restores "use everything"). The pool's
   /// worker count is fixed at first `shared()` use; later calls only move
-  /// the cap.
+  /// the cap — and the cap is read once per job at job open, so calling
+  /// this while a `shared()` job is in flight is safe and affects only
+  /// subsequent jobs. Calling it from *inside* pool work (a worker task,
+  /// or a nested inline loop) is a lifecycle error — the reconfiguration
+  /// would race the very job executing it — and throws std::logic_error
+  /// with a diagnostic naming the misuse.
   static void set_shared_threads(int threads);
   static int shared_threads();
 
  private:
   void worker_loop();
   void drain();
+  void run_one(int pos);
+  void record_job_error(std::exception_ptr e) DPMERGE_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;       // workers wait for a new job epoch
-  std::condition_variable done_cv_;  // caller waits for workers to finish
-  std::uint64_t epoch_ = 0;
-  bool stop_ = false;
-  int running_ = 0;       // workers currently inside drain()
-  int participants_ = 0;  // workers admitted to the current job
-  int max_participants_ = 0;
+  Mutex mu_;
+  CondVar cv_;       // workers wait for a new job epoch
+  CondVar done_cv_;  // caller waits for workers to finish
+  std::uint64_t epoch_ DPMERGE_GUARDED_BY(mu_) = 0;
+  bool stop_ DPMERGE_GUARDED_BY(mu_) = false;
+  int running_ DPMERGE_GUARDED_BY(mu_) = 0;   // workers inside drain()
+  int participants_ DPMERGE_GUARDED_BY(mu_) = 0;  // admitted to current job
+  int max_participants_ DPMERGE_GUARDED_BY(mu_) = 0;
   std::atomic<int> default_cap_{0};
 
-  // Current job (valid while job_open_): an atomic index dispenser.
-  std::mutex job_mu_;  // serialises concurrent parallel_for callers
-  bool job_open_ = false;
-  bool chunked_ = false;
-  int job_n_ = 0;
-  int job_grain_ = 1;
-  std::atomic<int> next_{0};
-  const std::function<void(int)>* fn_ = nullptr;
-  const std::function<void(int, int)>* chunk_fn_ = nullptr;
+  // Current job descriptor (valid while job_open_). Written under both
+  // job_mu_ and mu_ at job open; held constant for the job's lifetime by
+  // job_mu_ and published to workers by the mu_ release/acquire of the
+  // epoch handshake — which is why drain()/run_one() may read the
+  // descriptor lock-free (annotated on the implementations; manual proof
+  // in thread_pool.cpp).
+  Mutex job_mu_;  // serialises concurrent parallel_for callers
+  bool job_open_ DPMERGE_GUARDED_BY(mu_) = false;
+  bool chunked_ DPMERGE_GUARDED_BY(mu_) = false;
+  int job_n_ DPMERGE_GUARDED_BY(mu_) = 0;      // index count (or chunk count)
+  int job_grain_ DPMERGE_GUARDED_BY(mu_) = 1;
+  int job_limit_ DPMERGE_GUARDED_BY(mu_) = 0;  // exclusive end of raw range
+  const std::function<void(int)>* fn_ DPMERGE_GUARDED_BY(mu_) = nullptr;
+  const std::function<void(int, int)>* chunk_fn_ DPMERGE_GUARDED_BY(mu_) =
+      nullptr;
+  bool job_audited_ DPMERGE_GUARDED_BY(mu_) = false;
+  std::vector<int> perm_ DPMERGE_GUARDED_BY(mu_);  // stress dispatch order
+  std::uint64_t job_jitter_seed_ DPMERGE_GUARDED_BY(mu_) = 0;
+  int job_max_spin_ DPMERGE_GUARDED_BY(mu_) = 0;
+  std::exception_ptr job_error_ DPMERGE_GUARDED_BY(mu_);
+  /// Raised by the first failing task; checked (relaxed) by the dispensers
+  /// to stop handing out further work. Lock-free on purpose: timeliness
+  /// only — correctness of the abort path rests on mu_ (job_error_).
+  std::atomic<bool> job_abort_{false};
+  std::atomic<int> next_{0};  // position dispenser for the current job
+
+  // Stress configuration (applies from the next job). `stress_on_` mirrors
+  // stress_.enabled so the serial fast path can test it without job_mu_.
+  StressOptions stress_ DPMERGE_GUARDED_BY(job_mu_);
+  std::uint64_t job_counter_ DPMERGE_GUARDED_BY(job_mu_) = 0;
+  std::atomic<bool> stress_on_{false};
+
+  // Opens the job descriptor (audit job, stress permutation, dispatch
+  // state) and admits workers; returns whether any worker may join (false
+  // degrades to an instrumented serial drain by the caller alone).
+  bool open_job(int count, bool chunked, int limit, int grain,
+                const std::function<void(int)>* fn,
+                const std::function<void(int, int)>* chunk_fn,
+                int max_threads) DPMERGE_REQUIRES(job_mu_)
+      DPMERGE_EXCLUDES(mu_);
+  void close_job() DPMERGE_REQUIRES(job_mu_) DPMERGE_EXCLUDES(mu_);
 };
 
 }  // namespace dpmerge::support

@@ -158,6 +158,36 @@ TEST(ParallelClusterTest, FullFlowNetlistsByteIdentical) {
   }
 }
 
+TEST(ParallelClusterTest, StressInterleavingsByteIdentical) {
+  // The seeded stress scheduler (DESIGN.md §12) randomises dispatch order
+  // and injects per-task jitter: under every seed the full new-merge flow
+  // must still reproduce the serial run's DecisionLog JSON and Verilog
+  // byte for byte. (dpmerge-lint --concurrency sweeps 100+ seeds over the
+  // scaling suite; this keeps a fast always-on slice in tier-1.)
+  Graph g = designs::layered_network(20, 20, 16, /*seed=*/3);
+  synth::SynthOptions so_serial;
+  so_serial.threads = 1;
+  synth::SynthOptions so_par;
+  so_par.threads = 4;
+  const auto ref = synth::run_flow(g, synth::Flow::NewMerge, so_serial);
+  const std::string ref_v = netlist::to_verilog(ref.net, "stress");
+  std::string ref_dec;
+  ref.decisions.to_json(ref_dec);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    support::ThreadPool::StressOptions stress;
+    stress.enabled = true;
+    stress.seed = seed;
+    support::ThreadPool::shared().set_stress(stress);
+    const auto got = synth::run_flow(g, synth::Flow::NewMerge, so_par);
+    std::string dec;
+    got.decisions.to_json(dec);
+    EXPECT_EQ(dec, ref_dec) << "seed " << seed;
+    EXPECT_EQ(netlist::to_verilog(got.net, "stress"), ref_v)
+        << "seed " << seed;
+  }
+  support::ThreadPool::shared().set_stress({});
+}
+
 TEST(ParallelClusterTest, ThreadsZeroMeansAuto) {
   Rng rng(42);
   Graph g = dfg::random_graph(rng);

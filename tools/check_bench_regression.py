@@ -36,12 +36,20 @@ def load_cells(path):
             print(f"error: '{path}' has duplicate cell {key}", file=sys.stderr)
             sys.exit(2)
         cells[key] = cell
-    return doc.get("bench", "?"), cells
+    return doc.get("bench", "?"), cells, doc.get("sanitizer")
 
 
 def compare(current_path, baseline_path, threshold, metrics):
-    bench, current = load_cells(current_path)
-    _, baseline = load_cells(baseline_path)
+    bench, current, sanitizer = load_cells(current_path)
+    _, baseline, _ = load_cells(baseline_path)
+    if sanitizer:
+        # Sanitizer-built artifacts (asan/tsan CI jobs) carry instrumentation
+        # overhead; comparing them against clean-build baselines would only
+        # produce noise. The sanitized run's value is the sanitizer's own
+        # verdict, not the metrics.
+        print(f"SKIP: {bench}: '{current_path}' built with "
+              f"-fsanitize={sanitizer}; not compared against baseline")
+        return bench, [], [], 0
     failures = []
     for key, base in sorted(baseline.items()):
         cur = current.get(key)
