@@ -1,0 +1,115 @@
+// Measures the absint width-shrinking bridge (DESIGN.md §13): for each of
+// the paper's testcases D1..D5 (raw, pre-normalisation graphs) and the
+// structural scaling suite, runs the new-merge flow with and without the
+// `transform::shrink_widths` pre-stage and reports the post-synthesis
+// delay/area/CPA deltas, plus the shrink pass's own statistics (how many
+// nodes/edges narrowed, under which rule, and whether the batches carried a
+// BDD proof or simulation-only evidence).
+//
+// The deltas measure what the bidirectional fixpoint proves *beyond* the
+// paper's IC/RP algebras — the flow's own normalize stage still runs either
+// way, so a zero delta on a design means the fixed rules already found
+// everything the product domain can see there.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dpmerge/designs/scale.h"
+#include "dpmerge/designs/testcases.h"
+#include "dpmerge/netlist/sta.h"
+#include "dpmerge/synth/flow.h"
+#include "dpmerge/transform/shrink_widths.h"
+
+int main(int argc, char** argv) {
+  using namespace dpmerge;
+  using bench::fmt;
+
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::ObsSession obs_session("shrink", args);
+
+  struct Case {
+    std::string name;
+    dfg::Graph graph;
+  };
+  std::vector<Case> cases;
+  for (auto& tc : designs::all_testcases()) {
+    cases.push_back({tc.name, std::move(tc.graph)});
+  }
+  for (auto& sd : designs::scale_suite(5000)) {
+    cases.push_back({sd.name, std::move(sd.graph)});
+  }
+
+  netlist::Sta sta(netlist::CellLibrary::tsmc025());
+  struct Row {
+    double delay[2];
+    double area[2];
+    std::int64_t cpa[2];
+    transform::ShrinkStats shrink;
+  };
+  std::vector<Row> rows(cases.size());
+  obs_session.reports.resize(cases.size() * 2);
+  std::vector<bench::BenchCell> bench_cells(cases.size() * 2);
+  // One (design x variant) cell per pool task; each writes only its own
+  // slots so the schedule cannot change a reported number (DESIGN.md §11).
+  bench::parallel_for_cells(
+      static_cast<int>(cases.size()) * 2,
+      [&](int cell) {
+        const auto ci = static_cast<std::size_t>(cell / 2);
+        const int vi = cell % 2;  // 0 = plain new-merge, 1 = +shrink
+        synth::SynthOptions opt;
+        opt.absint_shrink = vi == 1;
+        if (vi == 1) {
+          // Standalone stats on the raw graph (the flow re-runs the pass
+          // internally; this copy reports what it found and how it was
+          // discharged).
+          dfg::Graph copy = cases[ci].graph;
+          rows[ci].shrink = transform::shrink_widths(copy);
+        }
+        auto res =
+            synth::run_flow(cases[ci].graph, synth::Flow::NewMerge, opt);
+        const auto timing = sta.analyze(res.net);
+        Row& r = rows[ci];
+        r.delay[vi] = timing.longest_path_ns;
+        r.area[vi] = sta.area_scaled(res.net);
+        r.cpa[vi] = res.report.cpa_count;
+        res.report.design = cases[ci].name;
+        res.report.flow = vi ? "new-merge+shrink" : "new-merge";
+        res.report.metrics["delay_ns"] = r.delay[vi];
+        res.report.metrics["area"] = r.area[vi];
+        bench::BenchCell& bc = bench_cells[static_cast<std::size_t>(cell)];
+        bc.design = res.report.design;
+        bc.flow = res.report.flow;
+        bc.delay_ns = r.delay[vi];
+        bc.area = r.area[vi];
+        bc.cpa_count = r.cpa[vi];
+        bc.wall_ms = static_cast<double>(res.report.total_us) / 1000.0;
+        bc.rss_mb = bench::peak_rss_mb();
+        obs_session.reports[static_cast<std::size_t>(cell)] =
+            std::move(res.report);
+      },
+      args.threads);
+  if (!args.bench_json.empty()) {
+    bench::write_bench_json_file(args.bench_json, "shrink", bench_cells,
+                                 args.deterministic);
+  }
+
+  std::printf("shrink_widths: new-merge flow with/without the absint "
+              "narrowing pre-stage\n\n");
+  bench::Table t({"Design", "Delay", "Delay+shrink", "%", "Area",
+                  "Area+shrink", "%", "CPAs", "CPAs+shrink"});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Row& r = rows[i];
+    t.add_row({cases[i].name, fmt(r.delay[0]), fmt(r.delay[1]),
+               bench::pct_reduction(r.delay[0], r.delay[1]), fmt(r.area[0], 1),
+               fmt(r.area[1], 1), bench::pct_reduction(r.area[0], r.area[1]),
+               std::to_string(r.cpa[0]), std::to_string(r.cpa[1])});
+  }
+  t.print();
+
+  std::printf("\nper-design shrink pass (on the raw graph):\n");
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    std::printf("  %-12s %s\n", cases[i].name.c_str(),
+                rows[i].shrink.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "dpmerge/analysis/required_precision.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <span>
 
 #include "dpmerge/obs/obs.h"

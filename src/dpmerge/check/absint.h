@@ -22,6 +22,7 @@
 /// since-mutated graph). Required-precision results carry no refinement
 /// state, so they are checked by exact re-derivation instead.
 
+#include <cstddef>
 #include <vector>
 
 #include "dpmerge/analysis/info_content.h"

@@ -1,5 +1,6 @@
 #include "dpmerge/check/diagnostic.h"
 
+#include <cstddef>
 #include <sstream>
 
 #include "dpmerge/obs/json.h"

@@ -1,0 +1,247 @@
+#include "dpmerge/transform/shrink_widths.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "dpmerge/check/absint_engine.h"
+#include "dpmerge/dfg/eval.h"
+#include "dpmerge/formal/equiv.h"
+#include "dpmerge/obs/obs.h"
+#include "dpmerge/obs/provenance.h"
+#include "dpmerge/support/rng.h"
+
+namespace dpmerge::transform {
+
+using check::AbsFact;
+using check::AbsintResult;
+using dfg::Edge;
+using dfg::EdgeId;
+using dfg::Graph;
+using dfg::Node;
+using dfg::NodeId;
+using dfg::OpKind;
+
+namespace {
+
+/// One committed narrowing, staged until the batch verifies.
+struct PendingDecision {
+  int node;
+  OpKind kind;
+  const char* rule;
+  int old_width;
+  int new_width;
+};
+
+/// Number of top bits of `f` that are known and share one value; the shared
+/// value is returned through `bit`. 0 when the MSB itself is unknown.
+int known_top_run(const check::KnownBits& kb, bool* bit) {
+  const int w = kb.width();
+  if (w == 0 || !kb.known.bit(w - 1)) return 0;
+  *bit = kb.value.bit(w - 1);
+  int run = 1;
+  while (run < w && kb.known.bit(w - 1 - run) &&
+         kb.value.bit(w - 1 - run) == *bit) {
+    ++run;
+  }
+  return run;
+}
+
+/// Lemma 5.6 out-edge mechanics shared by both shrink rules: make every
+/// consumer of `id` see a bit-identical operand after the node narrows from
+/// `W` to `i` with content signedness `t`. Wide signed edges of an unsigned
+/// content just flip to unsigned; wide differently-signed edges of a signed
+/// content need the wide value materialised by an Extension node.
+void retarget_out_edges(Graph& g, NodeId id, int W, int i, Sign t,
+                        ShrinkStats& stats) {
+  std::vector<EdgeId> need_ext;
+  for (EdgeId eid : g.node(id).out) {
+    const Edge& e = g.edge(eid);
+    if (e.width <= i || e.sign == t) continue;
+    if (t == Sign::Unsigned && e.sign == Sign::Signed) {
+      g.set_edge_sign(eid, Sign::Unsigned);
+      continue;
+    }
+    need_ext.push_back(eid);
+  }
+  g.set_node_width(id, i);
+  if (!need_ext.empty()) {
+    ++stats.extensions_inserted;
+    g.insert_extension_retarget(id, W, Sign::Signed, need_ext);
+  }
+}
+
+/// One pass over the fixpoint facts: apply every narrowing the analysis
+/// licenses. Returns the per-pass stats; `pending` collects the decision
+/// rows to log if the batch survives verification.
+ShrinkStats apply_batch(Graph& g, std::vector<PendingDecision>& pending) {
+  ShrinkStats stats;
+  const AbsintResult r = check::compute_absint(
+      g, {.max_rounds = 4, .demand = check::DemandSemantics::Truncation});
+
+  // Edges first (edge demand is computed against the current widths; node
+  // narrowing below re-runs the fixpoint next round anyway).
+  for (const Edge& e : g.edges()) {
+    int target = 0;
+    const BitVector& de = r.demand_edge(e.id);
+    for (int i = de.width() - 1; i >= 0; --i) {
+      if (de.bit(i)) {
+        target = i + 1;
+        break;
+      }
+    }
+    target = std::max(1, std::min(e.width, target));
+    if (target < e.width) {
+      ++stats.edges_narrowed;
+      g.set_edge_width(e.id, target);
+    }
+  }
+
+  // Snapshot the order: Extension insertion invalidates the CSR mid-loop.
+  const std::vector<NodeId> order = g.freeze().topo;
+  for (NodeId id : order) {
+    const Node& n = g.node(id);
+    if (!dfg::is_arith_operator(n.kind) && n.kind != OpKind::Extension) {
+      continue;  // comparators/IO/Const keep their widths (interface/semantics)
+    }
+    const int W = n.width;
+
+    // Demanded narrowing: undemanded high bits may be truncated outright —
+    // modular arithmetic's low bits do not read them, and no consumer's
+    // demanded operand bit maps onto them (check/absint_engine.h).
+    const int demanded = std::max(1, std::min(W, r.demanded_width(id)));
+
+    // Known-bits narrowing: a known top run leaves i live bits with content
+    // signedness t, exactly an information-content claim <i, t> proved by
+    // the product domain instead of the IC algebra.
+    int kb_width = W;
+    Sign kb_sign = Sign::Unsigned;
+    bool top_bit = false;
+    const int run = known_top_run(r.out(id).bits, &top_bit);
+    if (run > 0 && run < W) {
+      if (!top_bit) {
+        kb_width = W - run;
+      } else {
+        kb_width = W - run + 1;  // keep one sign replica
+        kb_sign = Sign::Signed;
+      }
+    } else if (run == W) {
+      kb_width = 1;
+      kb_sign = top_bit ? Sign::Signed : Sign::Unsigned;
+    }
+    kb_width = std::max(1, kb_width);
+
+    if (demanded < W && demanded <= kb_width) {
+      stats.bits_removed += W - demanded;
+      ++stats.nodes_narrowed;
+      ++stats.demanded_shrinks;
+      g.set_node_width(id, demanded);
+      pending.push_back(
+          {id.value, n.kind, "shrink.demanded", W, demanded});
+    } else if (kb_width < W) {
+      stats.bits_removed += W - kb_width;
+      ++stats.nodes_narrowed;
+      ++stats.knownbits_shrinks;
+      retarget_out_edges(g, id, W, kb_width, kb_sign, stats);
+      pending.push_back(
+          {id.value, n.kind, "shrink.known-bits", W, kb_width});
+    }
+  }
+  return stats;
+}
+
+bool verify_batch(const Graph& before, const Graph& after,
+                  const ShrinkOptions& opts, bool* formal_proved) {
+  Rng rng(0x5121c0de);
+  if (!dfg::equivalent_by_simulation(before, after, opts.sim_trials, rng)) {
+    return false;
+  }
+  int input_bits = 0;
+  for (NodeId id : before.inputs()) input_bits += before.node(id).width;
+  if (opts.max_formal_input_bits >= 0 &&
+      input_bits <= opts.max_formal_input_bits) {
+    const formal::EquivResult res =
+        formal::check_graph_vs_graph(before, after, opts.formal_max_nodes);
+    if (res.status == formal::EquivResult::Status::Different) return false;
+    if (res.equivalent()) {
+      *formal_proved = true;
+      return true;
+    }
+  }
+  *formal_proved = false;  // simulation-only evidence this batch
+  return true;
+}
+
+void log_decisions(const std::vector<PendingDecision>& pending) {
+  obs::prov::DecisionLog* log = obs::prov::current_log();
+  if (!log) return;
+  for (const PendingDecision& p : pending) {
+    obs::prov::Decision d;
+    d.node = p.node;
+    d.node_op =
+        std::string(dfg::to_string(p.kind)) + "#" + std::to_string(p.node);
+    d.rule = p.rule;
+    d.verdict = obs::prov::Verdict::Accept;
+    d.node_width = p.old_width;
+    d.info_width = p.new_width;
+    d.width_savings = p.old_width - p.new_width;
+    log->add(d);
+  }
+}
+
+}  // namespace
+
+std::string ShrinkStats::to_string() const {
+  return "nodes narrowed: " + std::to_string(nodes_narrowed) +
+         " (demanded: " + std::to_string(demanded_shrinks) +
+         ", known-bits: " + std::to_string(knownbits_shrinks) +
+         "), edges narrowed: " + std::to_string(edges_narrowed) +
+         ", extensions inserted: " + std::to_string(extensions_inserted) +
+         ", node bits removed: " + std::to_string(bits_removed) +
+         ", reverted batches: " + std::to_string(reverted_batches) +
+         (formally_verified ? ", formally verified" : ", simulation only");
+}
+
+ShrinkStats shrink_widths(Graph& g, const ShrinkOptions& opts) {
+  obs::Span span("transform.shrink_widths");
+  ShrinkStats total;
+  total.formally_verified = true;
+  for (int round = 0; round < std::max(1, opts.max_rounds); ++round) {
+    const Graph before = g;  // revert point for this batch
+    std::vector<PendingDecision> pending;
+    ShrinkStats batch = apply_batch(g, pending);
+    if (!batch.changed()) break;
+
+    bool formal_proved = false;
+    if (!verify_batch(before, g, opts, &formal_proved)) {
+      // The analysis licensed a shrink the oracle refutes: keep the design
+      // correct (restore), surface the event, and stop — re-running would
+      // reproduce the same bad batch.
+      g = before;
+      ++total.reverted_batches;
+      obs::stat_add("transform.shrink.reverted_batches");
+      break;
+    }
+    log_decisions(pending);
+    const bool fv = total.formally_verified && formal_proved;
+    const int rb = total.reverted_batches;
+    batch.reverted_batches = 0;
+    total.nodes_narrowed += batch.nodes_narrowed;
+    total.edges_narrowed += batch.edges_narrowed;
+    total.extensions_inserted += batch.extensions_inserted;
+    total.bits_removed += batch.bits_removed;
+    total.demanded_shrinks += batch.demanded_shrinks;
+    total.knownbits_shrinks += batch.knownbits_shrinks;
+    total.reverted_batches = rb;
+    total.formally_verified = fv;
+  }
+  if (!total.changed()) total.formally_verified = false;
+  if (obs::StatSink* sink = obs::current_sink()) {
+    sink->add("transform.shrink.nodes_narrowed", total.nodes_narrowed);
+    sink->add("transform.shrink.edges_narrowed", total.edges_narrowed);
+    sink->add("transform.shrink.bits_removed", total.bits_removed);
+  }
+  return total;
+}
+
+}  // namespace dpmerge::transform

@@ -1,0 +1,63 @@
+#pragma once
+
+/// Absint-driven width shrinking (DESIGN.md §13) — the lint-to-optimizer
+/// bridge. Where `normalize_widths` applies the paper's fixed rules
+/// (Theorem 4.2 / Lemmas 5.6–5.7 over the IC and RP algebras), this pass
+/// resizes against the bidirectional fixpoint of `check::compute_absint`:
+///
+///   - **Demanded narrowing** (rule `shrink.demanded`): a node or edge whose
+///     high bits are undemanded under Truncation semantics is cut down to
+///     its demanded width. Strictly generalises required precision — e.g. a
+///     multiply by a constant with t trailing zeros drops t bits of demand
+///     on the co-factor, which Definition 4.1 cannot see.
+///   - **Known-bits narrowing** (rule `shrink.known-bits`): a node whose top
+///     bits the forward product domain proves constant (all 0, or all equal
+///     to a known sign replica) is shrunk to the live bits, with out-edge
+///     sign rewrites / an explicit Extension node keeping every consumer's
+///     operand bit-identical (the Lemma 5.6 mechanics, driven by a stronger
+///     fact source than the IC algebra).
+///
+/// Every applied batch is discharged before it is kept: the shrunk graph
+/// must match the original on random differential simulation, and — when
+/// the design's total input width fits the BDD budget — on a formal
+/// `check_graph_vs_graph` proof. A batch that fails verification is
+/// reverted wholesale and counted in `reverted` (and nothing is logged for
+/// it). Committed shrinks are recorded as node-level decisions in the
+/// thread's active `obs::prov::DecisionLog`, so ledgers and
+/// `dpmerge-explain` attribute the resulting delay/area to them.
+
+#include <string>
+
+#include "dpmerge/dfg/graph.h"
+
+namespace dpmerge::transform {
+
+struct ShrinkOptions {
+  int max_rounds = 4;       ///< shrink/re-analyse alternations
+  int sim_trials = 64;      ///< differential random stimuli per batch
+  /// Formal proof budget: run the BDD equivalence check only when the sum
+  /// of primary-input widths is at most this (negative = never).
+  int max_formal_input_bits = 64;
+  std::size_t formal_max_nodes = 4u << 20;
+};
+
+struct ShrinkStats {
+  int nodes_narrowed = 0;
+  int edges_narrowed = 0;
+  int extensions_inserted = 0;
+  int bits_removed = 0;        ///< node-width bits removed
+  int demanded_shrinks = 0;    ///< narrowings owed to the backward domain
+  int knownbits_shrinks = 0;   ///< narrowings owed to the forward product
+  int reverted_batches = 0;    ///< batches rolled back by verification
+  bool formally_verified = false;  ///< every kept batch carried a BDD proof
+
+  bool changed() const { return nodes_narrowed || edges_narrowed; }
+  std::string to_string() const;
+};
+
+/// Shrinks `g` in place to the absint fixpoint's live widths. Safe on any
+/// well-formed graph, including already-normalised ones (it then only finds
+/// what the fixpoint proves beyond the IC/RP algebras).
+ShrinkStats shrink_widths(dfg::Graph& g, const ShrinkOptions& opts = {});
+
+}  // namespace dpmerge::transform

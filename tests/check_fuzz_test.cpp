@@ -1,6 +1,9 @@
 // Seeded fuzz loop: 500 random DFGs must pass the IR verifier, survive every
 // transform with the verifier still green, and produce information-content /
 // required-precision results the abstract-interpretation lint cannot refute.
+// A BDD-equivalence stage additionally proves, at small widths, that the
+// old-merge and new-merge flows both synthesize netlists implementing the
+// source graph (`ctest -L formal` collects it).
 
 #include <gtest/gtest.h>
 
@@ -9,6 +12,8 @@
 #include "dpmerge/check/absint.h"
 #include "dpmerge/check/check.h"
 #include "dpmerge/dfg/random_graph.h"
+#include "dpmerge/formal/equiv.h"
+#include "dpmerge/synth/flow.h"
 #include "dpmerge/transform/const_fold.h"
 #include "dpmerge/transform/cse.h"
 #include "dpmerge/transform/rebalance.h"
@@ -71,6 +76,31 @@ TEST(CheckFuzz, AnalysesSurviveTheSoundnessLint) {
     const auto rp = analysis::compute_required_precision(g);
     const auto rl = check::lint_required_precision(g, rp);
     EXPECT_TRUE(rl.clean()) << "seed " << seed << "\n" << rl.to_text();
+  }
+}
+
+// BDD-equivalence stage: both merge generations, proved (not simulated)
+// against the source graph. Widths are kept small so each proof is cheap;
+// a ResourceLimit verdict is a harness bug at these sizes, not a pass.
+TEST(CheckFuzz, MergeFlowsFormallyEquivalentAtSmallWidths) {
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 41);
+    dfg::RandomGraphOptions opt;
+    opt.num_inputs = 3;
+    opt.num_operators = 5 + static_cast<int>(seed % 6);
+    opt.max_width = 4 + static_cast<int>(seed % 4);
+    opt.mul_fraction = 0.1;  // keep multiplier BDDs small
+    opt.cmp_fraction = 0.15;
+    const Graph g = dfg::random_graph(rng, opt);
+    for (auto flow : {synth::Flow::OldMerge, synth::Flow::NewMerge}) {
+      const auto res = synth::run_flow(g, flow);
+      const auto r = formal::check_netlist_vs_graph(res.net, g);
+      ASSERT_TRUE(r.proved())
+          << "seed " << seed << " " << synth::to_string(flow);
+      EXPECT_TRUE(r.equivalent())
+          << "seed " << seed << " " << synth::to_string(flow) << ": "
+          << r.detail;
+    }
   }
 }
 

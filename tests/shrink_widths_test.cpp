@@ -1,0 +1,234 @@
+// Tests for transform::shrink_widths, the absint lint-to-optimizer bridge:
+// formally-verified width reductions on the paper's raw testcases, PackedSim
+// differential equivalence of the synthesized before/after netlists,
+// DecisionLog attribution under the shrink.* rules, targeted units for both
+// shrink rules, and a random-graph fuzz sweep.
+
+#include <gtest/gtest.h>
+
+#include "dpmerge/designs/testcases.h"
+#include "dpmerge/dfg/builder.h"
+#include "dpmerge/dfg/eval.h"
+#include "dpmerge/dfg/random_graph.h"
+#include "dpmerge/formal/equiv.h"
+#include "dpmerge/netlist/packed_sim.h"
+#include "dpmerge/obs/provenance.h"
+#include "dpmerge/synth/flow.h"
+#include "dpmerge/transform/shrink_widths.h"
+
+namespace dpmerge {
+namespace {
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpKind;
+using transform::ShrinkOptions;
+using transform::ShrinkStats;
+
+ShrinkOptions proving_options() {
+  ShrinkOptions opt;
+  // The paper designs stay well inside the BDD budget even above the
+  // conservative 64-input-bit default (D1 is the widest at 128).
+  opt.max_formal_input_bits = 512;
+  return opt;
+}
+
+// Acceptance: the pass finds at least one formally-verified width reduction
+// on at least two of D1..D5 (raw graphs, before the paper's own
+// normalisation runs).
+TEST(ShrinkWidths, FormallyVerifiedReductionsOnPaperDesigns) {
+  int designs_with_proved_reductions = 0;
+  for (const auto& tc : designs::all_testcases()) {
+    Graph g = tc.graph;
+    const ShrinkStats st = transform::shrink_widths(g, proving_options());
+    EXPECT_EQ(st.reverted_batches, 0) << tc.name;
+    if (st.nodes_narrowed > 0 && st.formally_verified) {
+      ++designs_with_proved_reductions;
+    }
+    if (st.changed()) {
+      // Belt and braces: re-prove the final graph against the original.
+      // (Skipped when nothing shrank — D2's 360 input bits would only
+      // exercise the BDD resource limit for an identity comparison.)
+      const auto r = formal::check_graph_vs_graph(tc.graph, g);
+      ASSERT_TRUE(r.proved()) << tc.name;
+      EXPECT_TRUE(r.equivalent()) << tc.name << ": " << r.detail;
+    }
+  }
+  EXPECT_GE(designs_with_proved_reductions, 2);
+}
+
+// PackedSimulator differential: synthesize the original and the shrunk
+// graph and drive both netlists with identical stimuli across all lanes.
+TEST(ShrinkWidths, PackedSimDifferentialOnShrunkDesigns) {
+  Rng rng(0xd1ff5e3d);
+  for (const auto& tc : designs::all_testcases()) {
+    Graph g = tc.graph;
+    const ShrinkStats st = transform::shrink_widths(g, proving_options());
+    if (!st.changed()) continue;  // nothing to differentiate
+    const auto before = synth::run_flow(tc.graph, synth::Flow::NewMerge);
+    const auto after = synth::run_flow(g, synth::Flow::NewMerge);
+    ASSERT_EQ(before.net.inputs().size(), after.net.inputs().size());
+    netlist::PackedSimulator sim_a(before.net);
+    netlist::PackedSimulator sim_b(after.net);
+    std::vector<std::vector<BitVector>> stimuli(
+        netlist::PackedSimulator::kLanes);
+    for (auto& lane : stimuli) {
+      for (const auto& bus : before.net.inputs()) {
+        lane.push_back(rng.bits(bus.signal.width()));
+      }
+    }
+    const auto ra = sim_a.run_batch(stimuli);
+    const auto rb = sim_b.run_batch(stimuli);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t L = 0; L < ra.size(); ++L) {
+      ASSERT_EQ(ra[L].size(), rb[L].size()) << tc.name;
+      for (std::size_t j = 0; j < ra[L].size(); ++j) {
+        EXPECT_EQ(ra[L][j], rb[L][j])
+            << tc.name << " lane " << L << " output "
+            << before.net.outputs()[j].name;
+      }
+    }
+  }
+}
+
+TEST(ShrinkWidths, DecisionsAttributedInLedger) {
+  obs::prov::DecisionLog log;
+  obs::prov::DecisionScope scope(&log);
+  Graph g = designs::all_testcases()[3].graph;  // D4
+  const ShrinkStats st = transform::shrink_widths(g, proving_options());
+  ASSERT_GT(st.nodes_narrowed, 0);
+  ASSERT_EQ(log.size(), static_cast<std::size_t>(st.nodes_narrowed));
+  int savings = 0;
+  for (const auto& d : log.decisions()) {
+    EXPECT_TRUE(d.rule == "shrink.demanded" || d.rule == "shrink.known-bits")
+        << d.rule;
+    EXPECT_EQ(d.verdict, obs::prov::Verdict::Accept);
+    EXPECT_LT(d.info_width, d.node_width);
+    EXPECT_EQ(d.width_savings, d.node_width - d.info_width);
+    savings += d.width_savings;
+  }
+  EXPECT_EQ(savings, st.bits_removed);
+}
+
+// Demanded rule in isolation: a truncating consumer lets the producer chain
+// drop its high bits outright.
+TEST(ShrinkWidths, DemandedRuleNarrowsTruncatedMultiply) {
+  Graph g;
+  const NodeId a = g.add_node(OpKind::Input, 8, "a");
+  const NodeId b = g.add_node(OpKind::Input, 8, "b");
+  const NodeId m = g.add_node(OpKind::Mul, 16);
+  g.add_edge(a, m, 0, 16, Sign::Unsigned);
+  g.add_edge(b, m, 1, 16, Sign::Unsigned);
+  const NodeId o = g.add_node(OpKind::Output, 6, "out");
+  g.add_edge(m, o, 0, 6, Sign::Unsigned);
+
+  const Graph orig = g;
+  const ShrinkStats st = transform::shrink_widths(g, proving_options());
+  EXPECT_GE(st.demanded_shrinks, 1);
+  EXPECT_EQ(g.node(m).width, 6);
+  EXPECT_TRUE(st.formally_verified);
+  EXPECT_TRUE(formal::check_graph_vs_graph(orig, g).equivalent());
+}
+
+// Known-bits rule in isolation: interval reasoning proves the adder's top
+// bits are constant zero (two 4-bit zero-extended operands sum to < 32), a
+// fact the IC algebra's own normalisation already consumed — but here it is
+// discovered from the product domain and discharged formally.
+TEST(ShrinkWidths, KnownBitsRuleNarrowsOverwideAdder) {
+  Graph g;
+  const NodeId a = g.add_node(OpKind::Input, 4, "a");
+  const NodeId b = g.add_node(OpKind::Input, 4, "b");
+  const NodeId s = g.add_node(OpKind::Add, 12);
+  g.add_edge(a, s, 0, 12, Sign::Unsigned);
+  g.add_edge(b, s, 1, 12, Sign::Unsigned);
+  const NodeId o = g.add_node(OpKind::Output, 12, "out");
+  g.add_edge(s, o, 0, 12, Sign::Unsigned);
+
+  const Graph orig = g;
+  const ShrinkStats st = transform::shrink_widths(g, proving_options());
+  EXPECT_GE(st.knownbits_shrinks, 1);
+  EXPECT_EQ(g.node(s).width, 5);  // 4-bit + 4-bit fits in 5 bits
+  EXPECT_TRUE(st.formally_verified);
+  EXPECT_TRUE(formal::check_graph_vs_graph(orig, g).equivalent());
+}
+
+TEST(ShrinkWidths, FlowIntegrationKeepsNetlistEquivalent) {
+  synth::SynthOptions opt;
+  opt.absint_shrink = true;
+  const auto cases = designs::all_testcases();
+  {
+    // D4: small enough for a full BDD proof of netlist vs source graph.
+    const auto& tc = cases[3];
+    const auto res = synth::run_flow(tc.graph, synth::Flow::NewMerge, opt);
+    const auto r = formal::check_netlist_vs_graph(res.net, tc.graph);
+    ASSERT_TRUE(r.proved()) << tc.name;
+    EXPECT_TRUE(r.equivalent()) << tc.name << ": " << r.detail;
+  }
+  {
+    // D5's netlist exceeds the default BDD budget; drive the interpreter
+    // and the packed netlist simulator with identical stimuli instead.
+    // Net buses are paired with graph inputs by NAME — the synthesized bus
+    // order is not the graph's input order.
+    const auto& tc = cases[4];
+    const auto res = synth::run_flow(tc.graph, synth::Flow::NewMerge, opt);
+    const dfg::Evaluator ev(tc.graph);
+    netlist::PackedSimulator sim(res.net);
+    const auto& g = tc.graph;
+    std::vector<std::size_t> bus_to_input;  // net bus index -> graph slot
+    for (const auto& bus : res.net.inputs()) {
+      std::size_t slot = g.inputs().size();
+      for (std::size_t i = 0; i < g.inputs().size(); ++i) {
+        if (g.name(g.inputs()[i]) == bus.name) slot = i;
+      }
+      ASSERT_LT(slot, g.inputs().size()) << "unmatched bus " << bus.name;
+      bus_to_input.push_back(slot);
+    }
+    Rng rng(0x5e11d5);
+    std::vector<std::vector<BitVector>> stimuli(
+        netlist::PackedSimulator::kLanes);
+    std::vector<std::vector<BitVector>> net_stimuli(stimuli.size());
+    for (std::size_t L = 0; L < stimuli.size(); ++L) {
+      stimuli[L] = ev.random_inputs(rng);
+      for (std::size_t b = 0; b < bus_to_input.size(); ++b) {
+        net_stimuli[L].push_back(stimuli[L][bus_to_input[b]]);
+      }
+    }
+    const auto batch = sim.run_batch(net_stimuli);
+    for (std::size_t L = 0; L < stimuli.size(); ++L) {
+      const auto expect = ev.run_outputs(stimuli[L]);
+      ASSERT_EQ(batch[L].size(), expect.size());
+      for (std::size_t j = 0; j < expect.size(); ++j) {
+        EXPECT_EQ(batch[L][j], expect[j])
+            << tc.name << " lane " << L << " output "
+            << res.net.outputs()[j].name;
+      }
+    }
+  }
+}
+
+TEST(ShrinkWidths, FuzzNeverRevertsAndPreservesSimulation) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    Rng rng(seed * 0x2545f4914f6cdd1dull + 13);
+    dfg::RandomGraphOptions opt;
+    opt.num_operators = 4 + static_cast<int>(seed % 13);
+    opt.max_width = 4 + static_cast<int>(seed % 21);
+    opt.mul_fraction = 0.25;
+    const Graph orig = dfg::random_graph(rng, opt);
+    Graph g = orig;
+    const ShrinkStats st = transform::shrink_widths(g);
+    EXPECT_EQ(st.reverted_batches, 0) << "seed " << seed;
+    Rng check_rng(seed + 1);
+    EXPECT_TRUE(dfg::equivalent_by_simulation(orig, g, 32, check_rng))
+        << "seed " << seed << " " << st.to_string();
+  }
+}
+
+TEST(ShrinkWidths, IdempotentOnAlreadyShrunkGraph) {
+  Graph g = designs::all_testcases()[3].graph;  // D4
+  (void)transform::shrink_widths(g, proving_options());
+  const ShrinkStats again = transform::shrink_widths(g, proving_options());
+  EXPECT_FALSE(again.changed()) << again.to_string();
+}
+
+}  // namespace
+}  // namespace dpmerge

@@ -9,6 +9,16 @@
 // Usage: dpmerge-lint [options] <file>...
 //   --policy=errors|paranoid  depth of the per-file checks (default paranoid:
 //                             verifier + abstract-interpretation lint)
+//   --absint                  use the bidirectional fixpoint engine
+//                             (check::compute_absint — known bits, intervals,
+//                             congruences, demanded bits) for the soundness
+//                             lint instead of the single-pass lint, and emit
+//                             its per-node fact report (text, or a "facts"
+//                             object with --json)
+//   --deadlogic               synthesise each input with the new-merge flow
+//                             and run the gate-level dead-logic lint on the
+//                             emitted netlist (net.absint.* warnings measure
+//                             synthesis slack; any finding exits 1)
 //   --flow                    run no-merge/old-merge/new-merge on each input
 //                             and verify the emitted netlists
 //   --explain-rejects         when the new-merge flow merges zero operators,
@@ -44,6 +54,8 @@
 #include <vector>
 
 #include "dpmerge/check/absint.h"
+#include "dpmerge/check/absint_engine.h"
+#include "dpmerge/check/absint_netlist.h"
 #include "dpmerge/check/check.h"
 #include "dpmerge/designs/scale.h"
 #include "dpmerge/dfg/io.h"
@@ -236,6 +248,7 @@ int main(int argc, char** argv) {
 
   check::CheckPolicy policy = check::CheckPolicy::Paranoid;
   bool run_flows = false, explain_rejects = false, json = false, quiet = false;
+  bool absint = false, deadlogic = false;
   bool concurrency = false;
   bool threads_given = false;
   int threads = 1;
@@ -254,6 +267,10 @@ int main(int argc, char** argv) {
       policy = *p;
     } else if (arg == "--flow") {
       run_flows = true;
+    } else if (arg == "--absint") {
+      absint = true;
+    } else if (arg == "--deadlogic") {
+      deadlogic = true;
     } else if (arg == "--explain-rejects") {
       explain_rejects = true;
     } else if (arg == "--json") {
@@ -290,7 +307,8 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: dpmerge-lint [--policy=errors|paranoid] [--flow] "
+          "usage: dpmerge-lint [--policy=errors|paranoid] [--absint] "
+          "[--deadlogic] [--flow] "
           "[--explain-rejects] [--json] [--threads=<n>] [--concurrency] "
           "[--interleavings=<n>] [--scale-nodes=<n>] [-q] <file>...\n");
       return 0;
@@ -330,13 +348,43 @@ int main(int argc, char** argv) {
     dfg::Graph graph;
     const bool have_graph = load_graph(path, source, graph, rep);
 
+    std::string facts_json;
     if (have_graph) {
       rep.merge(check::verify(graph));
-      if (rep.ok() && policy == check::CheckPolicy::Paranoid) {
+      if (rep.ok() && absint) {
+        // Bidirectional fixpoint: structurally never weaker than the
+        // single-pass lint below, plus the demanded-vs-RP cross-check.
+        const auto ia = analysis::compute_info_content(graph, {}, threads);
+        const auto rp = analysis::compute_required_precision(graph, threads);
+        const auto facts = check::compute_absint(graph);
+        rep.merge(check::lint_absint(graph, &ia, &rp, &facts));
+        if (json) {
+          facts_json = check::absint_facts_json(graph, facts);
+        } else {
+          std::printf("%s: absint facts (%d round(s)):\n%s", path.c_str(),
+                      facts.rounds,
+                      check::absint_facts_text(graph, facts).c_str());
+        }
+      } else if (rep.ok() && policy == check::CheckPolicy::Paranoid) {
         const auto ia = analysis::compute_info_content(graph, {}, threads);
         const auto rp = analysis::compute_required_precision(graph, threads);
         rep.merge(check::lint_info_content(graph, ia));
         rep.merge(check::lint_required_precision(graph, rp));
+      }
+      if (rep.ok() && deadlogic) {
+        try {
+          const auto res = synth::run_flow(graph, synth::Flow::NewMerge, sopt);
+          check::NetlistAbsintStats st;
+          rep.merge(check::lint_netlist_deadlogic(res.net, &st));
+          if (!json && !quiet) {
+            std::printf(
+                "%s: deadlogic: %d gate(s), %d constant, %d unobservable\n",
+                path.c_str(), st.gates, st.constant_cells,
+                st.unobservable_cells);
+          }
+        } catch (const check::CheckFailure& e) {
+          rep.merge(e.report());
+        }
       }
       if (rep.ok() && explain_rejects) {
         try {
@@ -387,6 +435,10 @@ int main(int argc, char** argv) {
     if (json) {
       std::string out = "{\"file\":";
       obs::json_append_quoted(out, path);
+      if (!facts_json.empty()) {
+        out += ",\"absint\":";
+        out += facts_json;
+      }
       out += ",\"report\":";
       rep.to_json(out);
       out += "}";

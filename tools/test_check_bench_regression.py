@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench_regression.py (the bench regression gate).
+
+Run directly (python3 tools/test_check_bench_regression.py) or through the
+`bench_regression_gate_test` ctest entry. Covers the three behaviours CI
+leans on: metric selection (--metrics / default delay,area), the
+sanitizer-tagged SKIP path, and drift/missing-cell detection with the
+threshold arithmetic.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_bench_regression as gate
+
+
+def artifact(cells, bench="t", sanitizer=None):
+    doc = {"bench": bench, "schema": "dpmerge-bench-v1", "cells": cells}
+    if sanitizer:
+        doc["sanitizer"] = sanitizer
+    f = tempfile.NamedTemporaryFile(
+        "w", suffix=".json", delete=False, encoding="utf-8")
+    json.dump(doc, f)
+    f.close()
+    return f.name
+
+
+def cell(design, flow, **metrics):
+    c = {"design": design, "flow": flow}
+    c.update(metrics)
+    return c
+
+
+class CompareTest(unittest.TestCase):
+    def setUp(self):
+        self.paths = []
+
+    def tearDown(self):
+        for p in self.paths:
+            os.unlink(p)
+
+    def art(self, *args, **kwargs):
+        p = artifact(*args, **kwargs)
+        self.paths.append(p)
+        return p
+
+    def compare(self, current, baseline, threshold=10.0,
+                metrics=("delay", "area")):
+        return gate.compare(current, baseline, threshold, list(metrics))
+
+    def test_identical_artifacts_pass(self):
+        a = self.art([cell("D1", "new", delay=2.0, area=30.0)])
+        bench, failures, extra, n = self.compare(a, a)
+        self.assertEqual(bench, "t")
+        self.assertEqual(failures, [])
+        self.assertEqual(extra, [])
+        self.assertEqual(n, 1)
+
+    def test_regression_beyond_threshold_fails(self):
+        base = self.art([cell("D1", "new", delay=2.0, area=30.0)])
+        cur = self.art([cell("D1", "new", delay=2.3, area=30.0)])  # +15%
+        _, failures, _, _ = self.compare(cur, base)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("delay", failures[0])
+        self.assertIn("15.0%", failures[0])
+
+    def test_regression_within_threshold_passes(self):
+        base = self.art([cell("D1", "new", delay=2.0, area=30.0)])
+        cur = self.art([cell("D1", "new", delay=2.18, area=32.9)])  # +9.x%
+        _, failures, _, _ = self.compare(cur, base)
+        self.assertEqual(failures, [])
+
+    def test_improvement_passes(self):
+        base = self.art([cell("D1", "new", delay=2.0, area=30.0)])
+        cur = self.art([cell("D1", "new", delay=1.0, area=10.0)])
+        _, failures, _, _ = self.compare(cur, base)
+        self.assertEqual(failures, [])
+
+    def test_zero_threshold_gates_any_drift(self):
+        base = self.art([cell("s", "new", cpa_count=100)])
+        cur = self.art([cell("s", "new", cpa_count=101)])
+        _, failures, _, _ = self.compare(cur, base, threshold=0.0,
+                                         metrics=("cpa_count",))
+        self.assertEqual(len(failures), 1)
+        self.assertIn("cpa_count", failures[0])
+
+    def test_metric_selection_ignores_ungated_metrics(self):
+        # delay doubled, but only cpa_count is gated.
+        base = self.art([cell("s", "new", delay=2.0, cpa_count=100)])
+        cur = self.art([cell("s", "new", delay=4.0, cpa_count=100)])
+        _, failures, _, _ = self.compare(cur, base, metrics=("cpa_count",))
+        self.assertEqual(failures, [])
+
+    def test_wall_and_rss_never_gated_by_default(self):
+        base = self.art([cell("D1", "new", delay=2.0, area=30.0,
+                              wall_ms=10.0, rss_mb=50.0)])
+        cur = self.art([cell("D1", "new", delay=2.0, area=30.0,
+                             wall_ms=900.0, rss_mb=900.0)])
+        _, failures, _, _ = self.compare(cur, base)
+        self.assertEqual(failures, [])
+
+    def test_sanitizer_tagged_current_is_skipped(self):
+        base = self.art([cell("D1", "new", delay=2.0)])
+        cur = self.art([cell("D1", "new", delay=99.0)], sanitizer="thread")
+        _, failures, extra, n = self.compare(cur, base)
+        self.assertEqual(failures, [])
+        self.assertEqual(extra, [])
+        self.assertEqual(n, 0)  # SKIP: nothing compared
+
+    def test_missing_cell_fails(self):
+        base = self.art([cell("D1", "new", delay=2.0),
+                         cell("D2", "new", delay=3.0)])
+        cur = self.art([cell("D1", "new", delay=2.0)])
+        _, failures, _, _ = self.compare(cur, base)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("missing from current run", failures[0])
+
+    def test_new_cell_is_noted_not_failed(self):
+        base = self.art([cell("D1", "new", delay=2.0)])
+        cur = self.art([cell("D1", "new", delay=2.0),
+                        cell("D6", "new", delay=9.0)])
+        _, failures, extra, _ = self.compare(cur, base)
+        self.assertEqual(failures, [])
+        self.assertEqual(extra, [("D6", "new")])
+
+    def test_duplicate_cell_key_is_a_usage_error(self):
+        dup = self.art([cell("D1", "new", delay=2.0),
+                        cell("D1", "new", delay=3.0)])
+        with self.assertRaises(SystemExit) as ctx:
+            gate.load_cells(dup)
+        self.assertEqual(ctx.exception.code, 2)
+
+    def test_unreadable_artifact_is_a_usage_error(self):
+        with self.assertRaises(SystemExit) as ctx:
+            gate.load_cells("/nonexistent/BENCH_missing.json")
+        self.assertEqual(ctx.exception.code, 2)
+
+    def test_real_baselines_self_compare_clean(self):
+        # Every checked-in baseline must gate cleanly against itself; also
+        # pins the schema the gate expects to what the benches emit.
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        bdir = os.path.join(root, "bench", "baselines")
+        names = sorted(os.listdir(bdir))
+        self.assertTrue(names, "no baselines found")
+        for name in names:
+            p = os.path.join(bdir, name)
+            bench, failures, extra, n = gate.compare(p, p, 10.0,
+                                                     ["delay", "area"])
+            self.assertEqual(failures, [], name)
+            self.assertEqual(extra, [], name)
+            self.assertGreater(n, 0, name)
+
+
+if __name__ == "__main__":
+    unittest.main()
