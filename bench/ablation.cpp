@@ -118,10 +118,11 @@ int main(int argc, char** argv) {
       bc.area = report.metrics.at("area");
       bc.cpa_count = report.cpa_count;
       bc.wall_ms = static_cast<double>(report.total_us) / 1000.0;
+      bc.rss_mb = bench::peak_rss_mb();
       bench_cells.push_back(std::move(bc));
     }
     bench::write_bench_json_file(args.bench_json, "ablation", bench_cells,
-                                 args.deterministic);
+                                 args.obs.deterministic);
   }
   for (int c = 0; c < nc; ++c) {
     std::vector<std::string> cells{configs[c].name};

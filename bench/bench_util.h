@@ -17,22 +17,20 @@
 
 namespace dpmerge::bench {
 
-/// Shared command-line contract of every bench harness:
-///   --stats-json <path>     write per-(design x flow) FlowReports as JSON
-///   --trace <path>          record spans/events, write Chrome trace JSON
-///   --seed <n>              seed for any stimulus randomness (default 1)
-///   --stats-deterministic   zero wall-clock fields in the stats JSON so
-///                           repeated runs are byte-identical
+/// Shared command-line contract of every bench harness. The observability
+/// flags (--stats-json, --trace, --profile, --metrics, --events, --seed,
+/// --stats-deterministic — see obs::ObsArgs in obs/session.h) are parsed by
+/// obs::parse_obs_arg, the same parser dpmerge-lint and dpmerge-explain
+/// use, so every flow-running binary speaks one artifact dialect. On top of
+/// those, benches add:
+///   --bench-json <path>     BENCH_*.json trajectory artifact
 ///   --threads <n>           pool width for parallel_for_cells (0 = auto)
 ///   --check=<policy>        run flows with pass-boundary checks enabled
 ///                           (off|errors|paranoid, default off)
 ///   --help                  print usage and exit
 struct BenchArgs {
-  std::string stats_json;
+  obs::ObsArgs obs;
   std::string bench_json;
-  std::string trace;
-  std::uint64_t seed = 1;
-  bool deterministic = false;
   int threads = 0;
 };
 
@@ -44,14 +42,13 @@ inline BenchArgs parse_bench_args(int& argc, char** argv,
   BenchArgs a;
   auto usage = [&](std::FILE* to) {
     std::fprintf(to,
-                 "usage: %s [--stats-json <path>] [--bench-json <path>]\n"
-                 "          [--trace <path>] [--seed <n>]"
-                 " [--stats-deterministic]\n"
-                 "          [--threads <n>] [--check=<policy>]\n",
-                 argc > 0 ? argv[0] : "bench");
+                 "usage: %s [obs flags] [--bench-json <path>]\n"
+                 "          [--threads <n>] [--check=<policy>]\n%s",
+                 argc > 0 ? argv[0] : "bench", obs::obs_usage());
   };
   int out = 1;
   for (int i = 1; i < argc; ++i) {
+    if (obs::parse_obs_arg(argc, argv, i, &a.obs)) continue;
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -60,16 +57,8 @@ inline BenchArgs parse_bench_args(int& argc, char** argv,
       }
       return argv[++i];
     };
-    if (arg == "--stats-json") {
-      a.stats_json = value();
-    } else if (arg == "--bench-json") {
+    if (arg == "--bench-json") {
       a.bench_json = value();
-    } else if (arg == "--trace") {
-      a.trace = value();
-    } else if (arg == "--seed") {
-      a.seed = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--stats-deterministic") {
-      a.deterministic = true;
     } else if (arg == "--threads") {
       a.threads = std::atoi(value());
     } else if (arg.rfind("--check=", 0) == 0) {
@@ -94,46 +83,15 @@ inline BenchArgs parse_bench_args(int& argc, char** argv,
   return a;
 }
 
-/// Starts/stops the tracer per BenchArgs and writes the `--trace` and
-/// `--stats-json` artifacts when the harness finishes. The reports vector is
-/// borrowed: the harness fills it (in deterministic cell order) before the
-/// session is destroyed.
-class ObsSession {
+/// The bench-side artifact session: obs::ArtifactSession (tracer lifecycle,
+/// crash handlers, and the --stats-json/--profile/--metrics/--events
+/// artifacts at destruction) constructed from the parsed BenchArgs. The
+/// harness fills the inherited `reports` vector (in deterministic cell
+/// order) before the session is destroyed.
+class ObsSession : public obs::ArtifactSession {
  public:
   ObsSession(std::string bench_name, const BenchArgs& args)
-      : name_(std::move(bench_name)), args_(args) {
-    if (!args_.trace.empty()) obs::Tracer::instance().start();
-  }
-
-  ~ObsSession() {
-    if (!args_.trace.empty()) {
-      obs::Tracer::instance().stop();
-      if (!obs::Tracer::instance().write_file(args_.trace)) {
-        std::fprintf(stderr, "failed to write trace to '%s'\n",
-                     args_.trace.c_str());
-      }
-    }
-    if (!args_.stats_json.empty()) {
-      std::ofstream os(args_.stats_json);
-      if (!os) {
-        std::fprintf(stderr, "failed to write stats to '%s'\n",
-                     args_.stats_json.c_str());
-        return;
-      }
-      obs::StatsJsonOptions opt;
-      opt.zero_times = args_.deterministic;
-      obs::write_stats_json(os, name_, args_.seed, reports, opt);
-    }
-  }
-
-  ObsSession(const ObsSession&) = delete;
-  ObsSession& operator=(const ObsSession&) = delete;
-
-  std::vector<obs::FlowReport> reports;
-
- private:
-  std::string name_;
-  BenchArgs args_;
+      : obs::ArtifactSession(std::move(bench_name), args.obs) {}
 };
 
 /// One cell of the `--bench-json` trajectory artifact: the result metrics
@@ -150,20 +108,12 @@ struct BenchCell {
   double rss_mb = 0.0;   ///< peak RSS after the cell; zeroed likewise
 };
 
-/// Peak resident-set size of this process in MiB (VmHWM from
-/// /proc/self/status), or 0.0 where procfs is unavailable. A high-water
-/// mark: it only grows, so per-cell readings in a multi-design harness
-/// reflect the largest design processed so far.
-inline double peak_rss_mb() {
-  std::ifstream in("/proc/self/status");
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.rfind("VmHWM:", 0) == 0) {
-      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
-    }
-  }
-  return 0.0;
-}
+/// Peak resident-set size of this process in MiB, or 0.0 where procfs is
+/// unavailable. A thin wrapper over obs::MemorySampler (the one RSS source
+/// in the tree); kept because every bench already calls it by this name.
+/// A high-water mark: it only grows, so per-cell readings in a multi-design
+/// harness reflect the largest design processed so far.
+inline double peak_rss_mb() { return obs::MemorySampler::peak_rss_mb(); }
 
 /// Writes the BENCH_<name>.json trajectory artifact: one object per cell,
 /// in the order the bench stored them. `zero_wall` (the --stats-deterministic

@@ -175,7 +175,7 @@ int main(int argc, char** argv) {
 
   if (!args.bench_json.empty()) {
     bench::write_bench_json_file(args.bench_json, "scale", cells,
-                                 args.deterministic);
+                                 args.obs.deterministic);
   }
   return 0;
 }

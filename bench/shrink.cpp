@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
       args.threads);
   if (!args.bench_json.empty()) {
     bench::write_bench_json_file(args.bench_json, "shrink", bench_cells,
-                                 args.deterministic);
+                                 args.obs.deterministic);
   }
 
   std::printf("shrink_widths: new-merge flow with/without the absint "

@@ -66,13 +66,14 @@ int main(int argc, char** argv) {
         bc.area = r.area[fi];
         bc.cpa_count = res.report.cpa_count;
         bc.wall_ms = static_cast<double>(res.report.total_us) / 1000.0;
+        bc.rss_mb = bench::peak_rss_mb();
         obs_session.reports[static_cast<std::size_t>(cell)] =
             std::move(res.report);
       },
       args.threads);
   if (!args.bench_json.empty()) {
     bench::write_bench_json_file(args.bench_json, "table1", bench_cells,
-                                 args.deterministic);
+                                 args.obs.deterministic);
   }
 
   std::printf("Table 1: post-synthesis longest path delay and area\n");

@@ -113,10 +113,11 @@ int main(int argc, char** argv) {
       bc.area = fr.report.metrics.at("end_area");
       bc.cpa_count = fr.report.cpa_count;
       bc.wall_ms = static_cast<double>(fr.report.total_us) / 1000.0;
+      bc.rss_mb = bench::peak_rss_mb();
       bench_cells.push_back(std::move(bc));
     }
     bench::write_bench_json_file(args.bench_json, "table2", bench_cells,
-                                 args.deterministic);
+                                 args.obs.deterministic);
   }
   obs_session.reports.reserve(synthed.size());
   for (auto& fr : synthed) {

@@ -36,7 +36,10 @@ std::string failure_message(std::string_view site, const CheckReport& rep) {
 }
 
 /// Route findings into the current stat sink so they appear in FlowReport
-/// stage stats and --stats-json artifacts, then throw on any Error.
+/// stage stats and --stats-json artifacts, then throw on any Error. The
+/// fatal path first notifies crash diagnostics (flight-recorder mark, and a
+/// "check-failure" dump when handlers are installed for it) — the thrown
+/// CheckFailure may be swallowed by a caller, but the evidence survives.
 void account_and_throw(const CheckReport& rep, std::string_view site) {
   obs::stat_add("check.runs");
   if (rep.errors() > 0) obs::stat_add("check.errors", rep.errors());
@@ -44,7 +47,10 @@ void account_and_throw(const CheckReport& rep, std::string_view site) {
   for (const Diagnostic& d : rep.diagnostics()) {
     obs::stat_add("check.rule." + d.rule);
   }
-  if (!rep.ok()) throw CheckFailure(std::string(site), rep);
+  if (!rep.ok()) {
+    obs::note_check_failure(site, rep.to_text());
+    throw CheckFailure(std::string(site), rep);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,330 @@
+#include "dpmerge/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+
+#include "dpmerge/obs/json.h"
+#include "dpmerge/obs/stats.h"
+#include "dpmerge/obs/trace.h"
+#include "dpmerge/support/thread_pool.h"
+
+namespace dpmerge::obs {
+
+std::string_view to_string(FrKind k) {
+  switch (k) {
+    case FrKind::SpanBegin:
+      return "span_begin";
+    case FrKind::SpanEnd:
+      return "span_end";
+    case FrKind::Counter:
+      return "counter";
+    case FrKind::TaskBegin:
+      return "task_begin";
+    case FrKind::TaskEnd:
+      return "task_end";
+    case FrKind::Mark:
+      return "mark";
+  }
+  return "?";
+}
+
+/// One thread's recording state. Allocated on the thread's first event,
+/// registered into the fixed slot table, and never freed or moved — the
+/// crash handler may walk the table at any instant from any thread.
+struct FlightRecorder::Slot {
+  explicit Slot(std::uint16_t id, std::uint32_t cap)
+      : tid(id), mask(cap - 1), ring(cap) {
+    context[0] = '\0';
+  }
+
+  std::uint16_t tid;
+  std::uint32_t mask;  ///< capacity - 1 (capacity is a power of two)
+  std::vector<FrEvent> ring;
+  /// Next write position; events live at [head - min(head, cap), head).
+  /// Written only by the owning thread; read by drain()/the crash handler.
+  std::atomic<std::uint64_t> head{0};
+
+  /// Crash-context fields: owner-written, reader-tolerant (a torn read
+  /// yields at worst a garbled label, never an invalid pointer — span_stack
+  /// holds only program-lifetime strings and the terminating NUL at
+  /// context[127] is never overwritten).
+  char context[128];
+  const char* span_stack[kMaxSpanDepth] = {};
+  std::atomic<int> span_depth{0};
+};
+
+namespace {
+
+std::uint32_t round_up_pow2(std::uint32_t v) {
+  std::uint32_t p = 1;
+  while (p < v && p < (1u << 24)) p <<= 1;
+  return p;
+}
+
+std::atomic<std::uint16_t> g_next_tid{1};
+
+#ifndef DPMERGE_OBS_DISABLED
+
+/// Thread-pool telemetry sink: turns the support-layer hook calls into
+/// flight-recorder events and registry stats. Installed once by
+/// FlightRecorder's constructor (support cannot depend on obs, so the pool
+/// exposes a hook struct instead of calling us directly).
+void pool_job_telemetry(std::uint64_t job, int tasks, int width) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  if (fr.enabled()) {
+    fr.record(FrKind::Mark, "pool.job", now_us(), static_cast<std::int64_t>(job),
+              static_cast<std::uint32_t>(tasks));
+  }
+  Registry& reg = Registry::instance();
+  static Counter& jobs = reg.counter("pool.jobs");
+  static Gauge& depth = reg.gauge("pool.queue_depth");
+  static Gauge& wgauge = reg.gauge("pool.job_width");
+  jobs.add(1);
+  // Queue depth at dispatch: every task of the job is queued before the
+  // first dispense, so the job's task count is the depth high-water mark.
+  depth.set(static_cast<double>(tasks));
+  wgauge.set(static_cast<double>(width));
+}
+
+void pool_task_telemetry(std::uint64_t job, int pos, std::int64_t t0_us,
+                         std::int64_t dur_us) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  if (fr.enabled()) {
+    const auto upos = static_cast<std::uint32_t>(pos);
+    fr.record(FrKind::TaskBegin, "pool.task", t0_us,
+              static_cast<std::int64_t>(job), upos);
+    fr.record(FrKind::TaskEnd, "pool.task", t0_us + dur_us, dur_us, upos);
+  }
+  Registry& reg = Registry::instance();
+  static Histogram& lat = reg.histogram("pool.task_us");
+  static Counter& tasks = reg.counter("pool.tasks");
+  lat.observe(dur_us);
+  tasks.add(1);
+  // Per-worker utilization: busy time billed to the flight-recorder thread
+  // id of the worker that ran the task. The name set is bounded by the
+  // number of threads that ever ran pool work; the reference is cached
+  // per thread so the registry lock is paid once per worker.
+  thread_local Counter* busy = nullptr;
+  if (busy == nullptr) {
+    busy = &reg.counter("pool.worker." + std::to_string(fr.local_tid()) +
+                        ".busy_us");
+  }
+  busy->add(dur_us);
+}
+
+#endif  // DPMERGE_OBS_DISABLED
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() {
+#ifndef DPMERGE_OBS_DISABLED
+  static const support::PoolTelemetryHooks hooks{pool_job_telemetry,
+                                                 pool_task_telemetry};
+  support::set_pool_telemetry(&hooks);
+#endif
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder fr;
+  return fr;
+}
+
+void FlightRecorder::set_capacity(std::uint32_t events) {
+  capacity_.store(round_up_pow2(std::max(events, 64u)),
+                  std::memory_order_relaxed);
+}
+
+FlightRecorder::Slot* FlightRecorder::local_slot() {
+  thread_local Slot* slot = [this]() -> Slot* {
+    const int idx = nslots_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= kMaxThreads) return nullptr;  // table full: thread records nothing
+    auto* s = new Slot(g_next_tid.fetch_add(1, std::memory_order_relaxed),
+                       capacity_.load(std::memory_order_relaxed));
+    slots_[idx].store(s, std::memory_order_release);
+    return s;
+  }();
+  return slot;
+}
+
+#ifndef DPMERGE_OBS_DISABLED
+
+void FlightRecorder::record(FrKind kind, const char* name, std::int64_t ts_us,
+                            std::int64_t value, std::uint32_t aux) {
+  Slot* s = local_slot();
+  if (s == nullptr) return;
+  const std::uint64_t h = s->head.load(std::memory_order_relaxed);
+  FrEvent& e = s->ring[static_cast<std::size_t>(h) & s->mask];
+  e.ts_us = ts_us;
+  e.value = value;
+  e.kind = kind;
+  e.tid = s->tid;
+  e.aux = aux;
+  e.name = name;  // last: a racing reader skips entries with a null name
+  s->head.store(h + 1, std::memory_order_release);
+  events_recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FlightRecorder::push_span(const char* name) {
+  Slot* s = local_slot();
+  if (s == nullptr) return;
+  const int d = s->span_depth.load(std::memory_order_relaxed);
+  if (d < kMaxSpanDepth) s->span_stack[d] = name;
+  s->span_depth.store(d + 1, std::memory_order_release);
+}
+
+void FlightRecorder::pop_span() {
+  Slot* s = local_slot();
+  if (s == nullptr) return;
+  const int d = s->span_depth.load(std::memory_order_relaxed);
+  if (d > 0) s->span_depth.store(d - 1, std::memory_order_release);
+}
+
+void FlightRecorder::set_thread_context(std::string_view ctx) {
+  Slot* s = local_slot();
+  if (s == nullptr) return;
+  const std::size_t n = std::min(ctx.size(), sizeof(s->context) - 1);
+  std::memcpy(s->context, ctx.data(), n);
+  s->context[n] = '\0';
+}
+
+std::uint16_t FlightRecorder::local_tid() {
+  Slot* s = local_slot();
+  return s != nullptr ? s->tid : 0;
+}
+
+void fr_mark(const char* name, std::int64_t value) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  if (fr.enabled()) fr.record(FrKind::Mark, name, now_us(), value);
+}
+
+void fr_counter(const char* name, std::int64_t delta) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  if (fr.enabled()) fr.record(FrKind::Counter, name, now_us(), delta);
+}
+
+#endif  // DPMERGE_OBS_DISABLED
+
+const char* FlightRecorder::intern(std::string_view s) {
+  support::MutexLock lock(mu_);
+  return arena_.emplace(s).first->c_str();
+}
+
+std::vector<FrEvent> FlightRecorder::drain() const {
+  std::vector<FrEvent> out;
+  const int n = std::min(nslots_.load(std::memory_order_acquire),
+                         static_cast<int>(kMaxThreads));
+  for (int i = 0; i < n; ++i) {
+    const Slot* s = slots_[i].load(std::memory_order_acquire);
+    if (s == nullptr) continue;
+    const std::uint64_t head = s->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = s->mask + std::uint64_t{1};
+    const std::uint64_t count = std::min(head, cap);
+    for (std::uint64_t k = head - count; k < head; ++k) {
+      const FrEvent& e = s->ring[static_cast<std::size_t>(k) & s->mask];
+      if (e.name != nullptr) out.push_back(e);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FrEvent& a, const FrEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.tid < b.tid;
+                   });
+  return out;
+}
+
+std::vector<FrThreadState> FlightRecorder::thread_states() const {
+  std::vector<FrThreadState> out;
+  const int n = std::min(nslots_.load(std::memory_order_acquire),
+                         static_cast<int>(kMaxThreads));
+  for (int i = 0; i < n; ++i) {
+    const Slot* s = slots_[i].load(std::memory_order_acquire);
+    if (s == nullptr) continue;
+    FrThreadState st;
+    st.tid = s->tid;
+    st.context.assign(s->context,
+                      strnlen(s->context, sizeof(s->context) - 1));
+    const int depth =
+        std::min(s->span_depth.load(std::memory_order_acquire),
+                 static_cast<int>(kMaxSpanDepth));
+    for (int d = 0; d < depth; ++d) {
+      const char* sp = s->span_stack[d];
+      if (sp != nullptr) st.span_stack.emplace_back(sp);
+    }
+    const std::uint64_t head = s->head.load(std::memory_order_acquire);
+    if (head > 0) {
+      const FrEvent& last =
+          s->ring[static_cast<std::size_t>(head - 1) & s->mask];
+      st.last_event_ts_us = last.ts_us;
+    }
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  const int n = std::min(nslots_.load(std::memory_order_acquire),
+                         static_cast<int>(kMaxThreads));
+  for (int i = 0; i < n; ++i) {
+    Slot* s = slots_[i].load(std::memory_order_acquire);
+    if (s == nullptr) continue;
+    for (FrEvent& e : s->ring) e.name = nullptr;
+    s->head.store(0, std::memory_order_release);
+    s->span_depth.store(0, std::memory_order_release);
+  }
+  events_recorded_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+void append_event_json(std::string& out, const FrEvent& e) {
+  out += "{\"ts_us\":" + std::to_string(e.ts_us);
+  out += ",\"tid\":" + std::to_string(e.tid);
+  out += ",\"kind\":";
+  json_append_quoted(out, to_string(e.kind));
+  out += ",\"name\":";
+  json_append_quoted(out, e.name != nullptr ? e.name : "");
+  out += ",\"value\":" + std::to_string(e.value);
+  if (e.aux != 0) out += ",\"aux\":" + std::to_string(e.aux);
+  out += "}";
+}
+
+}  // namespace
+
+void FlightRecorder::append_crash_json(std::string& out) const {
+  out += "\"threads\":[";
+  const auto states = thread_states();
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const FrThreadState& st = states[i];
+    if (i != 0) out += ",";
+    out += "{\"tid\":" + std::to_string(st.tid);
+    out += ",\"context\":";
+    json_append_quoted(out, st.context);
+    out += ",\"span_stack\":[";
+    for (std::size_t d = 0; d < st.span_stack.size(); ++d) {
+      if (d != 0) out += ",";
+      json_append_quoted(out, st.span_stack[d]);
+    }
+    out += "],\"last_event_ts_us\":" + std::to_string(st.last_event_ts_us);
+    out += "}";
+  }
+  out += "],\"events\":[";
+  const auto events = drain();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i != 0) out += ",";
+    append_event_json(out, events[i]);
+  }
+  out += "]";
+}
+
+void write_events_jsonl(std::ostream& os, const std::vector<FrEvent>& events) {
+  std::string line;
+  for (const FrEvent& e : events) {
+    line.clear();
+    append_event_json(line, e);
+    line += "\n";
+    os << line;
+  }
+}
+
+}  // namespace dpmerge::obs

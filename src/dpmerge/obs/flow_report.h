@@ -122,6 +122,12 @@ class FlowScope {
   std::int64_t flow_t0_ = 0;
   std::int64_t stage_t0_ = 0;
   bool in_stage_ = false;
+  // Flight-recorder bookkeeping for the open stage: interned span name
+  // ("flow.<stage>"), interned stage name for crash-dump "stage", and the
+  // RSS baseline for the stage's memory delta. Unused under OBS=OFF.
+  const char* stage_fr_name_ = nullptr;
+  const char* stage_crash_name_ = nullptr;
+  std::int64_t stage_rss_base_kb_ = 0;
 };
 
 }  // namespace dpmerge::obs

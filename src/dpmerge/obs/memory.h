@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+namespace dpmerge::obs {
+
+/// Process memory readings from /proc/self/status (Linux procfs). Every
+/// value is in KiB as the kernel reports it; 0 where procfs is unavailable
+/// (non-Linux, restricted mounts) so callers degrade to "no memory data"
+/// instead of failing. This is the one RSS source in the tree: the bench
+/// harnesses, the per-stage profiler deltas and the crash dump all read
+/// through it (the historical one-off `rss_mb` logic in bench/scale lived
+/// in bench_util.h and is now a wrapper over this).
+class MemorySampler {
+ public:
+  /// Current resident set (VmRSS), KiB.
+  static std::int64_t current_rss_kb();
+
+  /// Peak resident set (VmHWM), KiB. A high-water mark: it only grows over
+  /// the process lifetime.
+  static std::int64_t peak_rss_kb();
+
+  static double peak_rss_mb() {
+    return static_cast<double>(peak_rss_kb()) / 1024.0;
+  }
+
+  /// Delta-instance: remembers the RSS at construction (or the last
+  /// `rebase()`) so a stage can report how much resident memory it added.
+  /// Negative deltas are real (the allocator returned pages) and reported
+  /// as-is.
+  MemorySampler() : base_kb_(current_rss_kb()) {}
+
+  std::int64_t delta_kb() const { return current_rss_kb() - base_kb_; }
+  std::int64_t base_kb() const { return base_kb_; }
+  void rebase() { base_kb_ = current_rss_kb(); }
+
+ private:
+  std::int64_t base_kb_;
+};
+
+}  // namespace dpmerge::obs

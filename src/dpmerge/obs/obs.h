@@ -1,24 +1,40 @@
 #pragma once
 
-/// dpmerge::obs — tracing, counters and per-stage flow reports.
+/// dpmerge::obs — tracing, counters, flow reports, flight recorder, crash
+/// diagnostics and profiling.
 ///
-/// Umbrella header. The subsystem has three layers:
+/// Umbrella header. The subsystem's layers:
 ///   - trace.h: Span (RAII scoped timer) + Tracer (per-thread buffers,
 ///     Chrome trace_event JSON export for chrome://tracing / Perfetto).
 ///   - stats.h: StatSink/StatScope (thread-local scoped counters) and the
-///     process-global Registry (counters / gauges / histograms).
+///     process-global Registry (counters / gauges / histograms, JSON and
+///     Prometheus export).
 ///   - flow_report.h: FlowReport/FlowScope — the per-stage breakdown
 ///     synth::run_flow emits and the benches serialise via --stats-json.
 ///   - provenance.h: DecisionLog/DecisionScope and the per-decision
 ///     delay/area Ledger — merge-decision provenance and critical-path
 ///     attribution (DESIGN.md, "Provenance & attribution").
+///   - flight_recorder.h: always-on per-thread event rings feeding crash
+///     dumps, the profiler, and the --events JSONL export (DESIGN.md §14).
+///   - crash.h: SIGSEGV/SIGABRT/std::terminate/check-failure handlers
+///     writing dpmerge-crash-<pid>.json (docs/CRASHDUMP.md).
+///   - profiler.h: self/total call tree with p50/p99 and per-stage memory
+///     deltas, rendered by the dpmerge-profile tool.
+///   - memory.h: MemorySampler, the one RSS source in the tree.
+///   - session.h: the shared --stats-json/--trace/--profile/... CLI parser
+///     and the ArtifactSession writing every artifact at exit.
 ///
 /// Everything is near-zero-cost when idle (one relaxed atomic load per
 /// span, one TLS load per stat hook) and compiles out entirely with the
 /// CMake option -DDPMERGE_OBS=OFF (see DESIGN.md, "Observability").
 
+#include "dpmerge/obs/crash.h"
+#include "dpmerge/obs/flight_recorder.h"
 #include "dpmerge/obs/flow_report.h"
 #include "dpmerge/obs/json.h"
+#include "dpmerge/obs/memory.h"
+#include "dpmerge/obs/profiler.h"
 #include "dpmerge/obs/provenance.h"
+#include "dpmerge/obs/session.h"
 #include "dpmerge/obs/stats.h"
 #include "dpmerge/obs/trace.h"

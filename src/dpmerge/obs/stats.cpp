@@ -1,5 +1,7 @@
 #include "dpmerge/obs/stats.h"
 
+#include <algorithm>
+#include <cmath>
 #include <ostream>
 #include <sstream>
 
@@ -21,6 +23,23 @@ void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::percentile(double q) const {
+  const std::int64_t total = count();
+  if (total <= 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest bucket whose cumulative count reaches the
+  // 1-based rank ceil(q * total).
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  std::int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += bucket(b);
+    if (seen >= rank) return std::int64_t{1} << b;
+  }
+  return std::int64_t{1} << (kBuckets - 1);
 }
 
 Registry& Registry::instance() {
@@ -103,6 +122,59 @@ std::string Registry::json() const {
   std::ostringstream os;
   write_json(os);
   return os.str();
+}
+
+namespace {
+
+/// Prometheus metric name: `dpmerge_` prefix, [a-zA-Z0-9_] body (dots and
+/// anything else become underscores; a leading digit gets one too, though
+/// the prefix already prevents that).
+std::string prom_name(std::string_view name) {
+  std::string out = "dpmerge_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void Registry::write_prometheus(std::ostream& os) const {
+  support::MutexLock lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + json_number(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " histogram\n";
+    std::int64_t cumulative = 0;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::int64_t n = h->bucket(b);
+      cumulative += n;
+      // Sparse exposition: emit a bucket when it adds samples, plus the
+      // first one, so the series always starts at a concrete le bound.
+      if (n == 0 && b != 0) continue;
+      out += p + "_bucket{le=\"" + std::to_string(std::int64_t{1} << b) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(h->count()) + "\n";
+    out += p + "_sum " + std::to_string(h->sum()) + "\n";
+    out += p + "_count " + std::to_string(h->count()) + "\n";
+  }
+  // OpenMetrics terminator — also keeps an empty registry's exposition (a
+  // serial run has no pool telemetry) distinguishable from a failed write.
+  out += "# EOF\n";
+  os << out;
 }
 
 void Registry::reset() {

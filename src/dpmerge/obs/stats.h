@@ -180,6 +180,14 @@ class Histogram {
     return buckets_[static_cast<std::size_t>(i)].load(
         std::memory_order_relaxed);
   }
+
+  /// The exclusive upper bound of the bucket holding the q-quantile sample
+  /// (q in [0, 1]); 0 on an empty histogram. An upper bound, not an
+  /// interpolation: with power-of-two buckets the error is at most 2x,
+  /// which is what a latency histogram can honestly promise. Exact (and
+  /// deterministic) after writers quiesce.
+  std::int64_t percentile(double q) const;
+
   void reset();
 
  private:
@@ -204,6 +212,13 @@ class Registry {
   /// `{"counters":{...},"gauges":{...},"histograms":{...}}`, keys sorted.
   void write_json(std::ostream& os) const DPMERGE_EXCLUDES(mu_);
   std::string json() const DPMERGE_EXCLUDES(mu_);
+
+  /// Prometheus/OpenMetrics text exposition: counters as `counter`, gauges
+  /// as `gauge`, histograms as cumulative-`le` `histogram` series with
+  /// `_sum`/`_count`. Dots in names become underscores (`pool.task_us` →
+  /// `dpmerge_pool_task_us`); output is ordered by name, so artifacts are
+  /// byte-stable for identical workloads.
+  void write_prometheus(std::ostream& os) const DPMERGE_EXCLUDES(mu_);
 
   /// Zeroes every registered stat (references stay valid). For tests.
   void reset() DPMERGE_EXCLUDES(mu_);

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "dpmerge/obs/flight_recorder.h"
 #include "dpmerge/support/annotations.h"
 #include "dpmerge/support/mutex.h"
 
@@ -116,23 +117,42 @@ inline bool tracing() {
 
 #ifndef DPMERGE_OBS_DISABLED
 
-/// RAII scoped timer: records one complete event from construction to
-/// destruction. When the tracer is idle the constructor is a single atomic
-/// load and no clock is read.
+/// RAII scoped timer: records one complete event into the tracer (when a
+/// --trace capture is live) and span begin/end events into the always-on
+/// flight recorder. With both sinks idle the constructor is two relaxed
+/// atomic loads and no clock is read; with only the flight recorder live
+/// (the steady state) it is one clock read plus a lock-free ring write.
 class Span {
  public:
   explicit Span(const char* name) {
-    if (Tracer::instance().enabled()) {
+    const bool traced = Tracer::instance().enabled();
+    FlightRecorder& fr = FlightRecorder::instance();
+    const bool recorded = fr.enabled();
+    if (traced || recorded) {
       name_ = name;
+      traced_ = traced;
+      recorded_ = recorded;
       t0_ = now_us();
+      if (recorded) {
+        fr.record(FrKind::SpanBegin, name, t0_);
+        fr.push_span(name);
+      }
     }
   }
   Span(const char* name, const TraceArgs& args) : Span(name) {
-    if (name_) args_ = args.str();
+    if (traced_) args_ = args.str();
   }
   ~Span() {
     if (name_) {
-      Tracer::instance().record(name_, t0_, now_us() - t0_, std::move(args_));
+      const std::int64_t t1 = now_us();
+      if (recorded_) {
+        FlightRecorder& fr = FlightRecorder::instance();
+        fr.record(FrKind::SpanEnd, name_, t1, t1 - t0_);
+        fr.pop_span();
+      }
+      if (traced_) {
+        Tracer::instance().record(name_, t0_, t1 - t0_, std::move(args_));
+      }
     }
   }
   Span(const Span&) = delete;
@@ -141,6 +161,8 @@ class Span {
  private:
   const char* name_ = nullptr;
   std::int64_t t0_ = 0;
+  bool traced_ = false;
+  bool recorded_ = false;
   std::string args_;
 };
 

@@ -1,6 +1,7 @@
 #include "dpmerge/support/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 
@@ -10,6 +11,20 @@
 namespace dpmerge::support {
 
 namespace {
+
+std::atomic<const PoolTelemetryHooks*>& telemetry_slot() {
+  static std::atomic<const PoolTelemetryHooks*> hooks{nullptr};
+  return hooks;
+}
+
+/// Steady-clock microseconds, same epoch as obs::now_us (both read
+/// std::chrono::steady_clock), so pool task events interleave correctly
+/// with obs spans.
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// True on a thread currently executing pool work; nested parallel_for calls
 /// from such a thread run inline instead of re-entering the dispatcher.
@@ -31,6 +46,14 @@ std::uint64_t splitmix64(std::uint64_t x) {
 }
 
 }  // namespace
+
+void set_pool_telemetry(const PoolTelemetryHooks* hooks) {
+  telemetry_slot().store(hooks, std::memory_order_release);
+}
+
+const PoolTelemetryHooks* pool_telemetry() {
+  return telemetry_slot().load(std::memory_order_acquire);
+}
 
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) {
@@ -77,6 +100,8 @@ void ThreadPool::run_one(int pos) DPMERGE_NO_THREAD_SAFETY_ANALYSIS {
   }
   const bool audited = job_audited_;
   if (audited) audit::AccessAudit::instance().begin_task(slot);
+  const PoolTelemetryHooks* tel = pool_telemetry();
+  const std::int64_t t0_us = tel != nullptr ? steady_now_us() : 0;
   try {
     if (chunked_) {
       const int lo = slot * job_grain_;
@@ -87,6 +112,9 @@ void ThreadPool::run_one(int pos) DPMERGE_NO_THREAD_SAFETY_ANALYSIS {
     }
   } catch (...) {
     record_job_error(std::current_exception());
+  }
+  if (tel != nullptr) {
+    tel->task(job_id_, slot, t0_us, steady_now_us() - t0_us);
   }
   if (audited) audit::AccessAudit::instance().end_task();
 }
@@ -155,30 +183,41 @@ bool ThreadPool::open_job(int count, bool chunked, int limit, int grain,
     jitter_seed = splitmix64(stress_.seed ^ (job_counter_ * 0x2545F4914F6CDD1DULL));
     max_spin = stress_.max_spin;
   }
-  ++job_counter_;
+  const std::uint64_t job_id = ++job_counter_;
 
-  MutexLock lk(mu_);
-  job_open_ = true;
-  chunked_ = chunked;
-  job_n_ = count;
-  job_limit_ = limit;
-  job_grain_ = grain;
-  fn_ = fn;
-  chunk_fn_ = chunk_fn;
-  job_audited_ = audited;
-  perm_ = std::move(perm);
-  job_jitter_seed_ = jitter_seed;
-  job_max_spin_ = max_spin;
-  job_error_ = nullptr;
-  job_abort_.store(false, std::memory_order_relaxed);
-  next_.store(0, std::memory_order_relaxed);
-  participants_ = 0;
-  const int def = default_cap_.load();
-  const int cap = max_threads > 0 ? max_threads : (def > 0 ? def : size());
-  max_participants_ = std::min({static_cast<int>(workers_.size()),
-                                std::max(cap - 1, 0), count - 1});
-  ++epoch_;
-  return max_participants_ > 0;
+  int width = 0;
+  {
+    MutexLock lk(mu_);
+    job_open_ = true;
+    chunked_ = chunked;
+    job_n_ = count;
+    job_limit_ = limit;
+    job_grain_ = grain;
+    fn_ = fn;
+    chunk_fn_ = chunk_fn;
+    job_audited_ = audited;
+    job_id_ = job_id;
+    perm_ = std::move(perm);
+    job_jitter_seed_ = jitter_seed;
+    job_max_spin_ = max_spin;
+    job_error_ = nullptr;
+    job_abort_.store(false, std::memory_order_relaxed);
+    next_.store(0, std::memory_order_relaxed);
+    participants_ = 0;
+    const int def = default_cap_.load();
+    const int cap = max_threads > 0 ? max_threads : (def > 0 ? def : size());
+    max_participants_ = std::min({static_cast<int>(workers_.size()),
+                                  std::max(cap - 1, 0), count - 1});
+    ++epoch_;
+    width = max_participants_ + 1;
+  }
+  // Telemetry outside mu_: the hook may take its own locks (registry) and
+  // must never nest under a pool mutex. job_mu_ is still held, so the
+  // descriptor (and job_id_) stays valid for the callee.
+  if (const PoolTelemetryHooks* tel = pool_telemetry()) {
+    tel->job(job_id, count, width);
+  }
+  return width > 1;
 }
 
 void ThreadPool::close_job() {

@@ -12,6 +12,35 @@
 
 namespace dpmerge::support {
 
+/// Observability hooks for the thread pool. support cannot depend on
+/// dpmerge::obs (layering), so the pool publishes job/task lifecycle through
+/// this struct instead of calling the flight recorder directly; obs installs
+/// its sink once via set_pool_telemetry() (FlightRecorder::instance() does
+/// it on first use). Both pointers must be non-null and the struct must have
+/// program lifetime. Hooks run on pool threads, outside every pool lock, and
+/// must not call back into the pool.
+///
+/// The serial fast path (no workers, n == 1, or max_threads == 1 with no
+/// audit/stress) never opens a job descriptor and therefore emits no
+/// telemetry — by design: that path is the zero-synchronisation degradation
+/// the single-core contract promises, and a serial loop has nothing to say
+/// about queue depth or worker utilization.
+struct PoolTelemetryHooks {
+  /// One call per dispatched job, after the descriptor is published:
+  /// `tasks` = number of positions, `width` = admitted parallel width
+  /// (workers + the participating caller).
+  void (*job)(std::uint64_t job_id, int tasks, int width);
+  /// One call per completed task: `t0_us`/`dur_us` are steady-clock
+  /// microseconds (same epoch as obs::now_us).
+  void (*task)(std::uint64_t job_id, int pos, std::int64_t t0_us,
+               std::int64_t dur_us);
+};
+
+/// Installs (or, with nullptr, removes) the process-wide telemetry sink.
+/// Relaxed atomics: a job racing the install may miss events, never crash.
+void set_pool_telemetry(const PoolTelemetryHooks* hooks);
+const PoolTelemetryHooks* pool_telemetry();
+
 /// A persistent worker pool with a deterministic `parallel_for`. One shared
 /// instance (`ThreadPool::shared()`) serves the whole process: the table and
 /// scale benches spread their (design x flow) cells on it, and the parallel
@@ -147,6 +176,7 @@ class ThreadPool {
   const std::function<void(int, int)>* chunk_fn_ DPMERGE_GUARDED_BY(mu_) =
       nullptr;
   bool job_audited_ DPMERGE_GUARDED_BY(mu_) = false;
+  std::uint64_t job_id_ DPMERGE_GUARDED_BY(mu_) = 0;  // from job_counter_
   std::vector<int> perm_ DPMERGE_GUARDED_BY(mu_);  // stress dispatch order
   std::uint64_t job_jitter_seed_ DPMERGE_GUARDED_BY(mu_) = 0;
   int job_max_spin_ DPMERGE_GUARDED_BY(mu_) = 0;

@@ -1,0 +1,155 @@
+// stats::Histogram edge cases: empty percentiles, single samples, bucket
+// boundaries, saturating values, q clamping, and deterministic totals with
+// concurrent recording. Complements stats_stress_test.cpp, which covers
+// lost-update races; here the focus is the arithmetic contract.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dpmerge/obs/stats.h"
+
+namespace obs = dpmerge::obs;
+
+namespace {
+
+TEST(HistogramTest, EmptyHistogramReportsZeroes) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.percentile(0.0), 0);
+  EXPECT_EQ(h.percentile(0.5), 0);
+  EXPECT_EQ(h.percentile(1.0), 0);
+}
+
+TEST(HistogramTest, SingleSampleDominatesEveryPercentile) {
+  obs::Histogram h;
+  h.observe(100);  // bucket [64, 128) -> reported upper bound 128
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.sum(), 100);
+  EXPECT_EQ(h.percentile(0.0), 128);
+  EXPECT_EQ(h.percentile(0.5), 128);
+  EXPECT_EQ(h.percentile(0.99), 128);
+  EXPECT_EQ(h.percentile(1.0), 128);
+}
+
+TEST(HistogramTest, BucketBoundariesArePowersOfTwo) {
+  obs::Histogram h;
+  h.observe(0);  // bucket 0: v < 1
+  h.observe(1);  // bucket 1: [1, 2)
+  h.observe(2);  // bucket 2: [2, 4)
+  h.observe(3);  // bucket 2
+  h.observe(4);  // bucket 3: [4, 8)
+  EXPECT_EQ(h.bucket(0), 1);
+  EXPECT_EQ(h.bucket(1), 1);
+  EXPECT_EQ(h.bucket(2), 2);
+  EXPECT_EQ(h.bucket(3), 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 10);
+  // Nearest-rank: rank 1 of 5 at q=0 -> bucket 0's upper bound.
+  EXPECT_EQ(h.percentile(0.0), 1);
+  EXPECT_EQ(h.percentile(0.5), 4);  // rank 3 lands in bucket 2 -> bound 4
+  EXPECT_EQ(h.percentile(1.0), 8);  // rank 5 lands in bucket 3 -> bound 8
+}
+
+TEST(HistogramTest, NegativeSamplesClampToZero) {
+  obs::Histogram h;
+  h.observe(-1);
+  h.observe(std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.bucket(0), 2);
+  EXPECT_EQ(h.percentile(1.0), 1);
+}
+
+TEST(HistogramTest, HugeSamplesSaturateIntoLastBucket) {
+  obs::Histogram h;
+  h.observe(std::numeric_limits<std::int64_t>::max());
+  h.observe(std::int64_t{1} << 50);
+  EXPECT_EQ(h.bucket(obs::Histogram::kBuckets - 1), 2);
+  // The reported bound is the last bucket's, not the sample's magnitude.
+  EXPECT_EQ(h.percentile(0.5),
+            std::int64_t{1} << (obs::Histogram::kBuckets - 1));
+  EXPECT_EQ(h.percentile(1.0),
+            std::int64_t{1} << (obs::Histogram::kBuckets - 1));
+}
+
+TEST(HistogramTest, QuantileArgumentIsClamped) {
+  obs::Histogram h;
+  h.observe(1);
+  h.observe(1000);
+  EXPECT_EQ(h.percentile(-3.0), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(42.0), h.percentile(1.0));
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  obs::Histogram h;
+  h.observe(5);
+  h.observe(500);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.percentile(0.99), 0);
+  for (int b = 0; b < obs::Histogram::kBuckets; ++b) {
+    EXPECT_EQ(h.bucket(b), 0);
+  }
+}
+
+TEST(HistogramTest, ConcurrentRecordingYieldsDeterministicTotals) {
+  // Aggregation is commutative: three threads observing the same fixed
+  // sequence must land on the exact same totals, buckets, and percentiles
+  // as a serial run, regardless of interleaving.
+  obs::Histogram h;
+  const std::vector<std::int64_t> samples = {0, 1, 3, 9, 27, 81, 243, 729};
+  constexpr int kThreads = 3;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, &samples] {
+      for (const std::int64_t v : samples) h.observe(v);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  obs::Histogram serial;
+  for (int t = 0; t < kThreads; ++t) {
+    for (const std::int64_t v : samples) serial.observe(v);
+  }
+  EXPECT_EQ(h.count(), serial.count());
+  EXPECT_EQ(h.sum(), serial.sum());
+  for (int b = 0; b < obs::Histogram::kBuckets; ++b) {
+    EXPECT_EQ(h.bucket(b), serial.bucket(b)) << "bucket " << b;
+  }
+  EXPECT_EQ(h.percentile(0.5), serial.percentile(0.5));
+  EXPECT_EQ(h.percentile(0.99), serial.percentile(0.99));
+}
+
+TEST(HistogramTest, PrometheusExpositionEndsWithEofTerminator) {
+  // The exposition always carries the OpenMetrics terminator, so an empty
+  // registry (serial run: no pool telemetry) is distinguishable from a
+  // write that never happened.
+  obs::Registry& reg = obs::Registry::instance();
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+
+  reg.histogram("histogram_test.prom_us").observe(100);
+  std::ostringstream os2;
+  reg.write_prometheus(os2);
+  const std::string text2 = os2.str();
+  EXPECT_NE(text2.find("# TYPE dpmerge_histogram_test_prom_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text2.find("dpmerge_histogram_test_prom_us_bucket{le=\"128\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text2.find("dpmerge_histogram_test_prom_us_count 1"),
+            std::string::npos);
+  EXPECT_EQ(text2.substr(text2.size() - 6), "# EOF\n");
+}
+
+}  // namespace

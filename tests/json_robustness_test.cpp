@@ -1,0 +1,151 @@
+// Hostile-input hardening for obs/json.cpp: node and span names come from
+// design files the library does not control, so json_append_quoted must
+// turn ANY byte sequence into a valid JSON string — control characters,
+// overlong encodings, stray continuation bytes, encoded surrogates — and
+// the parser must survive the round trip.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+#include "dpmerge/obs/json.h"
+
+namespace obs = dpmerge::obs;
+
+namespace {
+
+/// Quotes `hostile`, asserts the result is valid JSON, parses it back, and
+/// returns the decoded string. Callers compare against the sanitised form.
+std::string round_trip(std::string_view hostile) {
+  const std::string quoted = obs::json_quote(hostile);
+  std::string err;
+  EXPECT_TRUE(obs::json_valid(quoted, &err))
+      << quoted << ": " << err;
+  obs::JsonValue v;
+  EXPECT_TRUE(obs::json_parse(quoted, &v, &err)) << quoted << ": " << err;
+  EXPECT_EQ(v.kind, obs::JsonValue::Kind::String);
+  return v.str;
+}
+
+constexpr std::string_view kFffd = "\xEF\xBF\xBD";  // U+FFFD in UTF-8
+
+TEST(JsonRobustnessTest, ControlCharactersEscapeAndRoundTrip) {
+  // Named escapes plus \u00XX for the rest of C0; all survive unchanged.
+  const std::string hostile = "a\nb\tc\rd\x01e\x1f f\"g\\h";
+  EXPECT_EQ(round_trip(hostile), hostile);
+
+  std::string quoted = obs::json_quote("\x01\x02\x1f");
+  EXPECT_EQ(quoted, "\"\\u0001\\u0002\\u001f\"");
+  quoted = obs::json_quote("\n\t\r");
+  EXPECT_EQ(quoted, "\"\\n\\t\\r\"");
+}
+
+TEST(JsonRobustnessTest, ValidUtf8PassesThroughUntouched) {
+  const std::string hostile = "caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80";
+  EXPECT_EQ(obs::json_quote(hostile), "\"" + hostile + "\"");
+  EXPECT_EQ(round_trip(hostile), hostile);
+}
+
+TEST(JsonRobustnessTest, StrayContinuationByteBecomesReplacement) {
+  EXPECT_EQ(round_trip("a\x80z"), std::string("a") + std::string(kFffd) + "z");
+}
+
+TEST(JsonRobustnessTest, TruncatedSequenceReplacesEachByte) {
+  // "\xE2\x82" is the first two bytes of a three-byte sequence, cut off at
+  // the end of the name: one replacement per rejected byte.
+  EXPECT_EQ(round_trip("ok\xE2\x82"),
+            std::string("ok") + std::string(kFffd) + std::string(kFffd));
+}
+
+TEST(JsonRobustnessTest, BrokenSequenceKeepsFollowingAscii) {
+  // \xC3 opens a two-byte sequence but '(' is not a continuation byte; the
+  // opener is replaced and the ASCII byte survives.
+  EXPECT_EQ(round_trip("\xC3(x"), std::string(kFffd) + "(x");
+}
+
+TEST(JsonRobustnessTest, OverlongEncodingIsRejectedPerByte) {
+  // "\xC0\xAF" is the classic overlong '/': it must NOT decode to a slash.
+  const std::string got = round_trip("\xC0\xAF");
+  EXPECT_EQ(got, std::string(kFffd) + std::string(kFffd));
+  EXPECT_EQ(got.find('/'), std::string::npos);
+}
+
+TEST(JsonRobustnessTest, Utf8EncodedSurrogateIsRejected) {
+  // "\xED\xA0\x80" encodes U+D800 — forbidden in UTF-8.
+  EXPECT_EQ(round_trip("\xED\xA0\x80"),
+            std::string(kFffd) + std::string(kFffd) + std::string(kFffd));
+}
+
+TEST(JsonRobustnessTest, OutOfRangeCodePointIsRejected) {
+  // "\xF4\x90\x80\x80" would be U+110000, above the Unicode ceiling.
+  EXPECT_EQ(round_trip("\xF4\x90\x80\x80"),
+            std::string(kFffd) + std::string(kFffd) + std::string(kFffd) +
+                std::string(kFffd));
+}
+
+TEST(JsonRobustnessTest, EveryByteValueProducesValidJson) {
+  // The exhaustive sweep: a name holding all 256 byte values must still
+  // quote to valid JSON and parse back without error.
+  std::string hostile;
+  for (int b = 0; b < 256; ++b) hostile.push_back(static_cast<char>(b));
+  const std::string quoted = obs::json_quote(hostile);
+  std::string err;
+  ASSERT_TRUE(obs::json_valid(quoted, &err)) << err;
+  obs::JsonValue v;
+  ASSERT_TRUE(obs::json_parse(quoted, &v, &err)) << err;
+  // ASCII (after unescaping) survives byte-for-byte.
+  EXPECT_EQ(v.str.substr(0, 128), hostile.substr(0, 128));
+}
+
+TEST(JsonRobustnessTest, ParserDecodesSurrogatePairs) {
+  obs::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(obs::json_parse("\"\\ud83d\\ude00\"", &v, &err)) << err;
+  EXPECT_EQ(v.str, "\xF0\x9F\x98\x80");  // U+1F600
+}
+
+TEST(JsonRobustnessTest, ParserReplacesLoneSurrogateEscapes) {
+  obs::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(obs::json_parse("\"\\ud800\"", &v, &err)) << err;
+  EXPECT_EQ(v.str, std::string(kFffd));
+  // High surrogate followed by a non-surrogate escape: replacement, then
+  // the second escape decodes normally.
+  ASSERT_TRUE(obs::json_parse("\"\\ud800\\u0041\"", &v, &err)) << err;
+  EXPECT_EQ(v.str, std::string(kFffd) + "A");
+}
+
+TEST(JsonRobustnessTest, RawControlCharacterInStringIsInvalid) {
+  std::string bad = "\"a";
+  bad.push_back('\x01');
+  bad += "b\"";
+  EXPECT_FALSE(obs::json_valid(bad));
+  obs::JsonValue v;
+  EXPECT_FALSE(obs::json_parse(bad, &v));
+}
+
+TEST(JsonRobustnessTest, JsonValueAccessorsAreTolerant) {
+  obs::JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(obs::json_parse(
+      "{\"n\": 3.5, \"s\": \"hi\", \"a\": [1, 2]}", &doc, &err))
+      << err;
+  EXPECT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.num("n"), 3.5);
+  EXPECT_EQ(doc.text("s"), "hi");
+  // Missing keys and kind mismatches fall back to the default.
+  EXPECT_EQ(doc.num("missing", -1.0), -1.0);
+  EXPECT_EQ(doc.text("n", "def"), "def");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  const obs::JsonValue* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 2u);
+  EXPECT_EQ(a->array[1].number, 2.0);
+  // Non-object lookups are null, not UB.
+  EXPECT_EQ(a->find("x"), nullptr);
+  EXPECT_EQ(a->num("x", 9.0), 9.0);
+}
+
+}  // namespace

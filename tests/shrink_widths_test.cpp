@@ -13,6 +13,7 @@
 #include "dpmerge/formal/equiv.h"
 #include "dpmerge/netlist/packed_sim.h"
 #include "dpmerge/obs/provenance.h"
+#include "dpmerge/obs/trace.h"
 #include "dpmerge/synth/flow.h"
 #include "dpmerge/transform/shrink_widths.h"
 
@@ -92,6 +93,7 @@ TEST(ShrinkWidths, PackedSimDifferentialOnShrunkDesigns) {
 }
 
 TEST(ShrinkWidths, DecisionsAttributedInLedger) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
   obs::prov::DecisionLog log;
   obs::prov::DecisionScope scope(&log);
   Graph g = designs::all_testcases()[3].graph;  // D4

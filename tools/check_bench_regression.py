@@ -9,7 +9,10 @@ when one of the gated metrics (default: delay, area) exceeds the baseline
 by more than the threshold (default 10%). The scale bench is gated on
 --metrics cpa_count instead: wall-clock and RSS vary with the runner, but
 the cluster structure of a deterministic flow must not drift. wall_ms and
-rss_mb are informational only and never compared. Cells
+rss_mb are therefore *informational*: listing them in --metrics reports
+excesses as notes without failing the run, unless --gate-informational
+promotes them to real failures (for a dedicated-hardware runner where
+timing and footprint are stable enough to gate on). Cells
 present in the baseline but missing from the current run fail too (a bench
 that silently drops a design must not pass); *new* cells in the current run
 are allowed (the baseline is refreshed when designs are added).
@@ -39,7 +42,13 @@ def load_cells(path):
     return doc.get("bench", "?"), cells, doc.get("sanitizer")
 
 
-def compare(current_path, baseline_path, threshold, metrics):
+# Runner-dependent metrics: reported, never gated by default. Everything a
+# deterministic flow computes (delay, area, cpa_count) is gated as before.
+INFORMATIONAL = {"wall_ms", "rss_mb"}
+
+
+def compare(current_path, baseline_path, threshold, metrics,
+            gate_informational=False):
     bench, current, sanitizer = load_cells(current_path)
     _, baseline, _ = load_cells(baseline_path)
     if sanitizer:
@@ -49,8 +58,9 @@ def compare(current_path, baseline_path, threshold, metrics):
         # verdict, not the metrics.
         print(f"SKIP: {bench}: '{current_path}' built with "
               f"-fsanitize={sanitizer}; not compared against baseline")
-        return bench, [], [], 0
+        return bench, [], [], [], 0
     failures = []
+    notes = []
     for key, base in sorted(baseline.items()):
         cur = current.get(key)
         if cur is None:
@@ -60,13 +70,17 @@ def compare(current_path, baseline_path, threshold, metrics):
             b, c = base.get(metric, 0.0), cur.get(metric, 0.0)
             limit = b * (1.0 + threshold / 100.0)
             if b > 0 and c > limit:
-                failures.append(
+                msg = (
                     f"{bench} design={key[0]} flow={key[1]}: {metric} "
                     f"{c:.4f} exceeds baseline {b:.4f} by "
                     f"{100.0 * (c - b) / b:.1f}% (> {threshold:.0f}%)"
                 )
+                if metric in INFORMATIONAL and not gate_informational:
+                    notes.append(msg)
+                else:
+                    failures.append(msg)
     extra = sorted(set(current) - set(baseline))
-    return bench, failures, extra, len(baseline)
+    return bench, failures, notes, extra, len(baseline)
 
 
 def main():
@@ -76,6 +90,8 @@ def main():
     ap.add_argument("--metrics", default="delay,area",
                     help="comma-separated cell metrics to gate "
                          "(default: delay,area)")
+    ap.add_argument("--gate-informational", action="store_true",
+                    help="fail (instead of note) on wall_ms/rss_mb excesses")
     ap.add_argument("files", nargs="+", metavar="CURRENT BASELINE",
                     help="alternating current/baseline json paths")
     args = ap.parse_args()
@@ -87,10 +103,13 @@ def main():
 
     any_failures = False
     for i in range(0, len(args.files), 2):
-        bench, failures, extra, n = compare(args.files[i], args.files[i + 1],
-                                            args.threshold, metrics)
+        bench, failures, notes, extra, n = compare(
+            args.files[i], args.files[i + 1], args.threshold, metrics,
+            args.gate_informational)
         for f in failures:
             print(f"FAIL: {f}")
+        for m in notes:
+            print(f"note: {m} [informational]")
         if failures:
             any_failures = True
         else:

@@ -20,13 +20,16 @@
 //   --verilog <prefix>       write <prefix><design>.<flow>.v per run (works
 //                            without obs — CI uses it to prove an obs-off
 //                            build emits byte-identical netlists)
-//   --seed <n>               recorded in the JSON artifact (the flows are
-//                            deterministic; the seed only tags the output)
 //   --threads <n>            parallel width for the clustering stages
 //                            (1 = serial default, 0 = one thread per core);
 //                            ledgers and netlists are bit-identical at any
 //                            setting (DESIGN.md §11)
 //   -q                       suppress the human-readable reports
+//
+// Plus the shared observability flags (obs/session.h): --stats-json,
+// --trace, --profile, --metrics, --events, --seed (recorded in the JSON
+// artifact — the flows are deterministic; the seed only tags the output),
+// --stats-deterministic. Same dialect as the benches and dpmerge-lint.
 //
 // Exit status: 0 ok, 1 a flow failed or attribution did not reconcile, 2
 // usage/IO errors. Explanations need an obs-enabled build (the default);
@@ -48,6 +51,7 @@
 #include "dpmerge/frontend/parser.h"
 #include "dpmerge/netlist/verilog.h"
 #include "dpmerge/obs/json.h"
+#include "dpmerge/obs/session.h"
 #include "dpmerge/obs/stats.h"
 #include "dpmerge/support/thread_pool.h"
 #include "dpmerge/synth/explain.h"
@@ -74,11 +78,13 @@ int main(int argc, char** argv) {
 
   bool want[3] = {true, true, true};  // indexed by synth::Flow
   std::string json_path, dot_prefix, verilog_prefix;
-  std::uint64_t seed = 0;
+  obs::ObsArgs oargs;
+  oargs.seed = 0;  // kept from the tool's pre-obs contract
   int threads = 1;
   bool quiet = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
+    if (obs::parse_obs_arg(argc, argv, i, &oargs)) continue;
     const std::string arg = argv[i];
     if (arg.rfind("--flow=", 0) == 0) {
       const std::string f = arg.substr(7);
@@ -101,8 +107,6 @@ int main(int argc, char** argv) {
       dot_prefix = argv[++i];
     } else if (arg == "--verilog" && i + 1 < argc) {
       verilog_prefix = argv[++i];
-    } else if (arg == "--seed" && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--threads" && i + 1 < argc) {
       char* end = nullptr;
       const char* val = argv[++i];
@@ -116,8 +120,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: dpmerge-explain [--flow=new|old|none|all] [--json <path|->] "
-          "[--dot <prefix>] [--verilog <prefix>] [--seed <n>] "
-          "[--threads <n>] [-q] <file>...\n");
+          "[--dot <prefix>] [--verilog <prefix>] "
+          "[--threads <n>] [-q] [obs flags] <file>...\n%s",
+          obs::obs_usage());
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "dpmerge-explain: unknown option '%s'\n",
@@ -145,9 +150,15 @@ int main(int argc, char** argv) {
   synth::SynthOptions sopt;
   sopt.threads = threads;
 
+  // Artifact lifecycle; a flow failure here is a reported finding (exit 1),
+  // not a crash, so check-failure dumps stay off.
+  obs::CrashOptions crash;
+  crash.dump_on_check_failure = false;
+  obs::ArtifactSession session("dpmerge-explain", oargs, crash);
+
   const netlist::CellLibrary& lib = netlist::CellLibrary::tsmc025();
   std::string json = "{\"tool\":\"dpmerge-explain\",\"seed\":" +
-                     std::to_string(seed) + ",\"designs\":[";
+                     std::to_string(oargs.seed) + ",\"designs\":[";
   bool first_design = true;
   int failures = 0;
 
@@ -200,6 +211,7 @@ int main(int argc, char** argv) {
             synth::explain_flow(graph, static_cast<synth::Flow>(f), lib, sopt);
         runs[f].result.report.design = design;
         runs[f].ledger.design = design;
+        session.reports.push_back(runs[f].result.report);
         have[f] = true;
       } catch (const std::exception& e) {
         std::fprintf(stderr, "dpmerge-explain: %s [%s]: %s\n", path.c_str(),

@@ -42,6 +42,10 @@
 //                             by --concurrency (default 20000)
 //   -q                        suppress per-file OK lines
 //
+// Plus the shared observability flags (obs/session.h): --stats-json,
+// --trace, --profile, --metrics, --events, --seed, --stats-deterministic —
+// the same artifact dialect the benches and dpmerge-explain speak.
+//
 // Exit status: 0 all clean, 1 findings (errors or warnings), 2 usage/IO.
 
 #include <cstdio>
@@ -62,6 +66,7 @@
 #include "dpmerge/frontend/parser.h"
 #include "dpmerge/netlist/verilog.h"
 #include "dpmerge/obs/json.h"
+#include "dpmerge/obs/session.h"
 #include "dpmerge/support/access_audit.h"
 #include "dpmerge/support/thread_pool.h"
 #include "dpmerge/synth/flow.h"
@@ -254,8 +259,10 @@ int main(int argc, char** argv) {
   int threads = 1;
   int interleavings = 100;
   int scale_nodes = 20000;
+  obs::ObsArgs oargs;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
+    if (obs::parse_obs_arg(argc, argv, i, &oargs)) continue;
     const std::string arg = argv[i];
     if (arg.rfind("--policy=", 0) == 0) {
       const auto p = check::parse_policy(arg.substr(9));
@@ -310,7 +317,9 @@ int main(int argc, char** argv) {
           "usage: dpmerge-lint [--policy=errors|paranoid] [--absint] "
           "[--deadlogic] [--flow] "
           "[--explain-rejects] [--json] [--threads=<n>] [--concurrency] "
-          "[--interleavings=<n>] [--scale-nodes=<n>] [-q] <file>...\n");
+          "[--interleavings=<n>] [--scale-nodes=<n>] [-q] [obs flags] "
+          "<file>...\n%s",
+          obs::obs_usage());
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "dpmerge-lint: unknown option '%s'\n", arg.c_str());
@@ -319,6 +328,12 @@ int main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
+  // Artifact lifecycle (--trace/--profile/--metrics/--events/--stats-json):
+  // check-failure dumps stay off — this tool provokes CheckFailures on
+  // purpose and reports them as findings, not crashes.
+  obs::CrashOptions crash;
+  crash.dump_on_check_failure = false;
+  obs::ArtifactSession session("dpmerge-lint", oargs, crash);
   if (concurrency) {
     // The race lint exercises real parallelism by default; an explicit
     // --threads (e.g. 1 to audit the instrumented serial path) still wins.
@@ -373,7 +388,9 @@ int main(int argc, char** argv) {
       }
       if (rep.ok() && deadlogic) {
         try {
-          const auto res = synth::run_flow(graph, synth::Flow::NewMerge, sopt);
+          auto res = synth::run_flow(graph, synth::Flow::NewMerge, sopt);
+          res.report.design = path;
+          session.reports.push_back(res.report);
           check::NetlistAbsintStats st;
           rep.merge(check::lint_netlist_deadlogic(res.net, &st));
           if (!json && !quiet) {
@@ -419,7 +436,9 @@ int main(int argc, char** argv) {
         for (const auto flow : {synth::Flow::NoMerge, synth::Flow::OldMerge,
                                 synth::Flow::NewMerge}) {
           try {
-            const auto res = synth::run_flow(graph, flow, sopt);
+            auto res = synth::run_flow(graph, flow, sopt);
+            res.report.design = path;
+            session.reports.push_back(res.report);
             // Warnings off: synthesized netlists legitimately contain unread
             // helper gates (unused carry tails, comparator internals).
             check::NetVerifyOptions nopts;

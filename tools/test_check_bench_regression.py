@@ -50,12 +50,13 @@ class CompareTest(unittest.TestCase):
         return p
 
     def compare(self, current, baseline, threshold=10.0,
-                metrics=("delay", "area")):
-        return gate.compare(current, baseline, threshold, list(metrics))
+                metrics=("delay", "area"), gate_informational=False):
+        return gate.compare(current, baseline, threshold, list(metrics),
+                            gate_informational)
 
     def test_identical_artifacts_pass(self):
         a = self.art([cell("D1", "new", delay=2.0, area=30.0)])
-        bench, failures, extra, n = self.compare(a, a)
+        bench, failures, notes, extra, n = self.compare(a, a)
         self.assertEqual(bench, "t")
         self.assertEqual(failures, [])
         self.assertEqual(extra, [])
@@ -64,7 +65,7 @@ class CompareTest(unittest.TestCase):
     def test_regression_beyond_threshold_fails(self):
         base = self.art([cell("D1", "new", delay=2.0, area=30.0)])
         cur = self.art([cell("D1", "new", delay=2.3, area=30.0)])  # +15%
-        _, failures, _, _ = self.compare(cur, base)
+        _, failures, _, _, _ = self.compare(cur, base)
         self.assertEqual(len(failures), 1)
         self.assertIn("delay", failures[0])
         self.assertIn("15.0%", failures[0])
@@ -72,19 +73,19 @@ class CompareTest(unittest.TestCase):
     def test_regression_within_threshold_passes(self):
         base = self.art([cell("D1", "new", delay=2.0, area=30.0)])
         cur = self.art([cell("D1", "new", delay=2.18, area=32.9)])  # +9.x%
-        _, failures, _, _ = self.compare(cur, base)
+        _, failures, _, _, _ = self.compare(cur, base)
         self.assertEqual(failures, [])
 
     def test_improvement_passes(self):
         base = self.art([cell("D1", "new", delay=2.0, area=30.0)])
         cur = self.art([cell("D1", "new", delay=1.0, area=10.0)])
-        _, failures, _, _ = self.compare(cur, base)
+        _, failures, _, _, _ = self.compare(cur, base)
         self.assertEqual(failures, [])
 
     def test_zero_threshold_gates_any_drift(self):
         base = self.art([cell("s", "new", cpa_count=100)])
         cur = self.art([cell("s", "new", cpa_count=101)])
-        _, failures, _, _ = self.compare(cur, base, threshold=0.0,
+        _, failures, _, _, _ = self.compare(cur, base, threshold=0.0,
                                          metrics=("cpa_count",))
         self.assertEqual(len(failures), 1)
         self.assertIn("cpa_count", failures[0])
@@ -93,7 +94,7 @@ class CompareTest(unittest.TestCase):
         # delay doubled, but only cpa_count is gated.
         base = self.art([cell("s", "new", delay=2.0, cpa_count=100)])
         cur = self.art([cell("s", "new", delay=4.0, cpa_count=100)])
-        _, failures, _, _ = self.compare(cur, base, metrics=("cpa_count",))
+        _, failures, _, _, _ = self.compare(cur, base, metrics=("cpa_count",))
         self.assertEqual(failures, [])
 
     def test_wall_and_rss_never_gated_by_default(self):
@@ -101,13 +102,36 @@ class CompareTest(unittest.TestCase):
                               wall_ms=10.0, rss_mb=50.0)])
         cur = self.art([cell("D1", "new", delay=2.0, area=30.0,
                              wall_ms=900.0, rss_mb=900.0)])
-        _, failures, _, _ = self.compare(cur, base)
+        _, failures, _, _, _ = self.compare(cur, base)
         self.assertEqual(failures, [])
+
+    def test_informational_metric_noted_not_failed(self):
+        # wall_ms/rss_mb listed in --metrics report excesses as notes: the
+        # run stays green on a noisy shared runner.
+        base = self.art([cell("D1", "new", delay=2.0, wall_ms=10.0,
+                              rss_mb=50.0)])
+        cur = self.art([cell("D1", "new", delay=2.0, wall_ms=900.0,
+                             rss_mb=900.0)])
+        _, failures, notes, _, _ = self.compare(
+            cur, base, metrics=("delay", "wall_ms", "rss_mb"))
+        self.assertEqual(failures, [])
+        self.assertEqual(len(notes), 2)
+        self.assertIn("wall_ms", notes[0])
+        self.assertIn("rss_mb", notes[1])
+
+    def test_gate_informational_promotes_to_failures(self):
+        base = self.art([cell("D1", "new", rss_mb=50.0)])
+        cur = self.art([cell("D1", "new", rss_mb=900.0)])
+        _, failures, notes, _, _ = self.compare(
+            cur, base, metrics=("rss_mb",), gate_informational=True)
+        self.assertEqual(notes, [])
+        self.assertEqual(len(failures), 1)
+        self.assertIn("rss_mb", failures[0])
 
     def test_sanitizer_tagged_current_is_skipped(self):
         base = self.art([cell("D1", "new", delay=2.0)])
         cur = self.art([cell("D1", "new", delay=99.0)], sanitizer="thread")
-        _, failures, extra, n = self.compare(cur, base)
+        _, failures, _, extra, n = self.compare(cur, base)
         self.assertEqual(failures, [])
         self.assertEqual(extra, [])
         self.assertEqual(n, 0)  # SKIP: nothing compared
@@ -116,7 +140,7 @@ class CompareTest(unittest.TestCase):
         base = self.art([cell("D1", "new", delay=2.0),
                          cell("D2", "new", delay=3.0)])
         cur = self.art([cell("D1", "new", delay=2.0)])
-        _, failures, _, _ = self.compare(cur, base)
+        _, failures, _, _, _ = self.compare(cur, base)
         self.assertEqual(len(failures), 1)
         self.assertIn("missing from current run", failures[0])
 
@@ -124,7 +148,7 @@ class CompareTest(unittest.TestCase):
         base = self.art([cell("D1", "new", delay=2.0)])
         cur = self.art([cell("D1", "new", delay=2.0),
                         cell("D6", "new", delay=9.0)])
-        _, failures, extra, _ = self.compare(cur, base)
+        _, failures, _, extra, _ = self.compare(cur, base)
         self.assertEqual(failures, [])
         self.assertEqual(extra, [("D6", "new")])
 
@@ -149,8 +173,8 @@ class CompareTest(unittest.TestCase):
         self.assertTrue(names, "no baselines found")
         for name in names:
             p = os.path.join(bdir, name)
-            bench, failures, extra, n = gate.compare(p, p, 10.0,
-                                                     ["delay", "area"])
+            bench, failures, notes, extra, n = gate.compare(
+                p, p, 10.0, ["delay", "area"])
             self.assertEqual(failures, [], name)
             self.assertEqual(extra, [], name)
             self.assertGreater(n, 0, name)
